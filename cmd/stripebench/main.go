@@ -1,0 +1,61 @@
+// Command stripebench regenerates every table and figure of the
+// paper's evaluation. Run it with no arguments for the full suite, or
+// name experiments with -exp:
+//
+//	stripebench                  # everything, full scale
+//	stripebench -exp fig15       # one experiment
+//	stripebench -exp loss,video  # several
+//	stripebench -list            # what exists
+//	stripebench -quick           # reduced scale (seconds, not minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"stripe/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		quick = flag.Bool("quick", false, "reduced-scale runs")
+		seed  = flag.Int64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []harness.Experiment
+	if *exp == "" {
+		todo = harness.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := harness.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "stripebench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	cfg := harness.Config{Quick: *quick, Seed: *seed}
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		r := e.Run(cfg)
+		fmt.Println(r.Text)
+		fmt.Printf("-- %s finished in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,155 @@
+// Command stripedemo runs a live two-channel striping session over
+// loopback UDP and prints a timeline: packets striped by SRR, delivered
+// in FIFO order by logical reception, with optional loss injected on
+// the sending side to show quasi-FIFO behaviour and marker recovery.
+//
+//	stripedemo               # lossless: exact FIFO
+//	stripedemo -loss 0.1     # 10% loss: quasi-FIFO with marker recovery
+//	stripedemo -n 50 -v      # print each delivery
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"stripe"
+)
+
+// lossyChannel drops packets before a real UDP channel, so the demo can
+// inject loss deterministically.
+type lossyChannel struct {
+	inner stripe.ChannelSender
+	p     float64
+	rng   *rand.Rand
+}
+
+func (l *lossyChannel) Send(pkt *stripe.Packet) error {
+	if pkt.Kind == stripe.KindData && l.rng.Float64() < l.p {
+		return nil
+	}
+	return l.inner.Send(pkt)
+}
+
+func main() {
+	var (
+		n       = flag.Int("n", 200, "packets to send")
+		loss    = flag.Float64("loss", 0, "data-packet loss probability")
+		verbose = flag.Bool("v", false, "print each delivery")
+		seed    = flag.Int64("seed", 42, "loss-process seed")
+	)
+	flag.Parse()
+
+	const nch = 2
+	cfg := stripe.Config{
+		Quanta:  stripe.UniformQuanta(nch, 1500),
+		Markers: stripe.MarkerPolicy{Every: 2, Position: 0},
+	}
+
+	sendEnds := make([]stripe.ChannelSender, nch)
+	recvEnds := make([]*stripe.UDPChannel, nch)
+	for i := 0; i < nch; i++ {
+		s, r, err := stripe.NewUDPChannelPair()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stripedemo:", err)
+			os.Exit(1)
+		}
+		defer s.Close()
+		defer r.Close()
+		sendEnds[i] = &lossyChannel{inner: s, p: *loss, rng: rand.New(rand.NewSource(*seed + int64(i)))}
+		recvEnds[i] = r
+	}
+
+	tx, err := stripe.NewSender(sendEnds, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stripedemo:", err)
+		os.Exit(1)
+	}
+	rx, err := stripe.NewReceiver(nch, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stripedemo:", err)
+		os.Exit(1)
+	}
+
+	stop := make(chan struct{})
+	var pumps sync.WaitGroup
+	for i, rc := range recvEnds {
+		pumps.Add(1)
+		go func(i int, rc *stripe.UDPChannel) {
+			defer pumps.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p, err := rc.ReadPacket(50 * time.Millisecond)
+				if err != nil || p == nil {
+					continue
+				}
+				rx.Arrive(i, p)
+			}
+		}(i, rc)
+	}
+
+	fmt.Printf("striping %d packets over %d UDP channels (loss %.0f%%)\n", *n, nch, *loss*100)
+	go func() {
+		for i := 0; i < *n; i++ {
+			payload := make([]byte, 400+((i*37)%800))
+			copy(payload, fmt.Sprintf("pkt-%05d", i))
+			if err := tx.SendBytes(payload); err != nil {
+				fmt.Fprintln(os.Stderr, "send:", err)
+				return
+			}
+		}
+		// Keep markers flowing while the tail resynchronizes.
+		for i := 0; i < 20; i++ {
+			time.Sleep(20 * time.Millisecond)
+			tx.EmitMarkers()
+		}
+	}()
+
+	delivered, late := 0, 0
+	lastID := -1
+	deadline := time.After(5 * time.Second)
+	var order []int
+collect:
+	for delivered < *n {
+		done := make(chan *stripe.Packet, 1)
+		go func() { done <- rx.Recv() }()
+		select {
+		case p := <-done:
+			var id int
+			fmt.Sscanf(string(p.Payload), "pkt-%d", &id)
+			order = append(order, id)
+			if id < lastID {
+				late++
+			} else {
+				lastID = id
+			}
+			if *verbose {
+				fmt.Printf("  delivered pkt-%05d (%4d bytes)\n", id, p.Len())
+			}
+			delivered++
+		case <-deadline:
+			break collect // remainder was lost
+		}
+	}
+	close(stop)
+	pumps.Wait()
+
+	st := rx.Stats()
+	fmt.Printf("\ndelivered %d/%d packets, %d out of order\n", delivered, *n, late)
+	fmt.Printf("markers consumed: %d, resynchronizations: %d, skips: %d\n",
+		st.Markers, st.Resyncs, st.Skips)
+	if *loss == 0 && late == 0 && delivered == *n {
+		fmt.Println("FIFO delivery: exact (Theorem 4.1)")
+	}
+	if *loss > 0 {
+		fmt.Println("quasi-FIFO: misordering confined to loss windows; markers restore sync")
+	}
+	_ = order
+}

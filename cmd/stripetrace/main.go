@@ -1,0 +1,133 @@
+// Command stripetrace generates, inspects and converts the workload
+// trace files the experiments replay (the role NV capture files played
+// in the paper's Section 6.3 study).
+//
+//	stripetrace gen -kind video -frames 2000 -o nv.strf
+//	stripetrace gen -kind bimodal -n 10000 -o mix.strf
+//	stripetrace info nv.strf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stripe/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		info(os.Args[2])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  stripetrace gen -kind {video|bimodal|uniform|alternating} [flags] -o FILE
+  stripetrace info FILE`)
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		kind   = fs.String("kind", "video", "trace kind: video, bimodal, uniform, alternating")
+		out    = fs.String("o", "", "output file (required)")
+		n      = fs.Int("n", 10000, "packet count (size traces)")
+		frames = fs.Int("frames", 2000, "frame count (video)")
+		gop    = fs.Int("gop", 8, "intra-frame period (video)")
+		imean  = fs.Int("imean", 8000, "mean I-frame bytes (video)")
+		pmean  = fs.Int("pmean", 1500, "mean P-frame bytes (video)")
+		mtu    = fs.Int("mtu", 1024, "packetization MTU (video)")
+		small  = fs.Int("small", 200, "small packet bytes (bimodal/alternating)")
+		large  = fs.Int("large", 1000, "large packet bytes (bimodal/alternating)")
+		minSz  = fs.Int("min", 64, "minimum size (uniform)")
+		maxSz  = fs.Int("max", 1500, "maximum size (uniform)")
+		seed   = fs.Int64("seed", 1, "generator seed")
+	)
+	fs.Parse(args)
+	if *out == "" {
+		usage()
+	}
+	switch *kind {
+	case "video":
+		v, err := trace.SynthesizeVideo(trace.VideoConfig{
+			Frames: *frames, GOP: *gop, IMean: *imean, PMean: *pmean, MTU: *mtu, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.SaveVideo(*out, v); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d frames, %d packets, MTU %d\n", *out, len(v.FrameBytes), len(v.Packets), v.MTU)
+	case "bimodal", "uniform", "alternating":
+		var g trace.SizeGen
+		switch *kind {
+		case "bimodal":
+			g = trace.NewBimodal(*small, *large, 0.5, *seed)
+		case "uniform":
+			g = trace.NewUniform(*minSz, *maxSz, *seed)
+		default:
+			g = &trace.Alternating{Sizes: []int{*large, *small}}
+		}
+		sizes := make([]int, *n)
+		for i := range sizes {
+			sizes[i] = g.Next()
+		}
+		if err := trace.SaveSizes(*out, sizes); err != nil {
+			fatal(err)
+		}
+		var total int64
+		for _, s := range sizes {
+			total += int64(s)
+		}
+		fmt.Printf("wrote %s: %d packets, %d bytes, mean %d\n", *out, len(sizes), total, total/int64(len(sizes)))
+	default:
+		usage()
+	}
+}
+
+func info(path string) {
+	if sizes, err := trace.LoadSizes(path); err == nil {
+		min, max, total := sizes[0], sizes[0], int64(0)
+		for _, s := range sizes {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+			total += int64(s)
+		}
+		fmt.Printf("%s: size trace, %d packets, bytes %d, sizes %d..%d, mean %d\n",
+			path, len(sizes), total, min, max, total/int64(len(sizes)))
+		return
+	}
+	if v, err := trace.LoadVideo(path); err == nil {
+		var total int64
+		for _, b := range v.FrameBytes {
+			total += int64(b)
+		}
+		fmt.Printf("%s: video trace, %d frames, %d packets, MTU %d, %d bytes, mean frame %d\n",
+			path, len(v.FrameBytes), len(v.Packets), v.MTU, total, total/int64(len(v.FrameBytes)))
+		return
+	}
+	fatal(fmt.Errorf("%s: not a recognizable trace file", path))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stripetrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+// Package stripe implements the reliable, scalable channel striping
+// protocol of Adiseshu, Parulkar and Varghese (SIGCOMM 1996): fair load
+// sharing of variable-length packets across multiple FIFO channels via
+// Surplus Round Robin (a causal fair-queuing algorithm run "in
+// reverse"), FIFO delivery at the receiver via logical reception (the
+// receiver simulates the sender's automaton), and fast restoration of
+// synchronization after loss via periodic marker packets — all without
+// modifying a single data packet.
+//
+// # Quick start
+//
+// Implement ChannelSender/ChannelReceiver for your transport (or use
+// the built-in local, UDP, or TCP channels), then:
+//
+//	cfg := stripe.Config{Quanta: stripe.UniformQuanta(4, 1500)}
+//	tx, _ := stripe.NewSender(senders, cfg)
+//	rx, _ := stripe.NewReceiver(4, cfg)
+//
+//	go func() { // receive pumps, one per channel
+//	    for pkt := range channel0 { rx.Arrive(0, pkt) }
+//	}()
+//	...
+//	tx.Send(stripe.Data(payload)) // stripes across the channels
+//	pkt := rx.Recv()              // delivered in FIFO order
+//
+// The sender and receiver must be configured with identical Quanta (and
+// marker policy); the receiver's FIFO guarantee is exactly the paper's:
+// perfect FIFO without loss, quasi-FIFO under loss, resynchronizing
+// within roughly one marker period after losses stop.
+//
+// The internal packages implement every substrate of the paper's
+// evaluation (schedulers, impaired channels, the strIPe IP framework, a
+// discrete-event simulator with a Reno-style TCP, baselines, and the
+// experiment harness); see DESIGN.md for the map and EXPERIMENTS.md for
+// the regenerated tables and figures.
+package stripe

@@ -1,0 +1,110 @@
+// IP striping: the Section 6.1 architecture end to end. Two hosts get
+// two parallel links, a virtual strIPe interface on each, and host
+// routes that divert traffic for the peer's addresses into it — IP and
+// the application never know striping is happening. One link then
+// starts dropping packets; the marker protocol keeps the stream
+// flowing and restores FIFO delivery.
+//
+//	go run ./examples/ipstripe
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stripe/internal/channel"
+	"stripe/internal/core"
+	"stripe/internal/stripenet"
+)
+
+func main() {
+	a := stripenet.NewHost("alice")
+	b := stripenet.NewHost("bob")
+
+	// Two point-to-point links; link 1 is lossy from the start.
+	for i := 0; i < 2; i++ {
+		an, err := a.AddNIC(fmt.Sprintf("link%d", i), stripenet.MustAddr(fmt.Sprintf("10.%d.0.1", i)), 1500)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bn, err := b.AddNIC(fmt.Sprintf("link%d", i), stripenet.MustAddr(fmt.Sprintf("10.%d.0.2", i)), 1500)
+		if err != nil {
+			log.Fatal(err)
+		}
+		imp := channel.Impairments{Seed: int64(i)}
+		if i == 1 {
+			imp.Loss = 0.1
+		}
+		stripenet.Connect(an, bn, imp)
+	}
+
+	// The virtual interface: SRR over both members, markers every 2
+	// rounds.
+	cfg := stripenet.StripeConfig{
+		Members: []string{"link0", "link1"},
+		Quanta:  []int64{1500, 1500},
+		Markers: core.MarkerPolicy{Every: 2, Position: 0},
+	}
+	if _, err := a.AddStripeIface("stripe0", cfg); err != nil {
+		log.Fatal(err)
+	}
+	sb, err := b.AddStripeIface("stripe0", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Host routes override network routes: traffic for bob's addresses
+	// dives into the stripe (the paper's routing-table trick).
+	for i := 0; i < 2; i++ {
+		if err := a.AddRoute(stripenet.MustAddr(fmt.Sprintf("10.%d.0.2", i)), 32, "stripe0"); err != nil {
+			log.Fatal(err)
+		}
+		if err := b.AddRoute(stripenet.MustAddr(fmt.Sprintf("10.%d.0.1", i)), 32, "stripe0"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var delivered, late int
+	last := -1
+	b.OnReceive(func(hdr stripenet.Header, payload []byte) {
+		var id int
+		fmt.Sscanf(string(payload), "datagram-%d", &id)
+		delivered++
+		if id < last {
+			late++
+		} else {
+			last = id
+		}
+	})
+
+	const n = 1000
+	src, dst := stripenet.MustAddr("10.0.0.1"), stripenet.MustAddr("10.0.0.2")
+	for i := 0; i < n; i++ {
+		payload := []byte(fmt.Sprintf("datagram-%d-%s", i, make([]byte, (i*37)%1100)))
+		if err := a.SendIP(src, dst, 17, payload); err != nil {
+			log.Fatal(err)
+		}
+		stripenet.Poll(a, b)
+	}
+
+	st := sb.Stats()
+	fmt.Printf("sent %d IP datagrams through the strIPe interface (link1 at 10%% loss)\n", n)
+	fmt.Printf("delivered %d (%.1f%%), %d out of order (quasi-FIFO)\n",
+		delivered, float64(delivered)/n*100, late)
+	fmt.Printf("markers consumed %d, resynchronizations %d, channel skips %d\n",
+		st.Markers, st.Resyncs, st.Skips)
+	for _, name := range []string{"link0", "link1"} {
+		fmt.Printf("%s carried %d bytes\n", name, bytesSent(a, name))
+	}
+	fmt.Println("IP and the application never saw the striping: same addresses, same API")
+}
+
+func bytesSent(h *stripenet.Host, nic string) int64 {
+	// Exposed via the NIC accessor; the host map is internal, so walk
+	// through MTUOf's sibling accessor pattern: re-resolve by name.
+	n := h.NIC(nic)
+	if n == nil {
+		return 0
+	}
+	return n.BytesSent()
+}

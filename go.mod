@@ -1,0 +1,3 @@
+module stripe
+
+go 1.22

@@ -1,0 +1,289 @@
+// Package baseline implements the competing striping schemes the paper
+// surveys in Section 2.1, used as experimental baselines:
+//
+//   - Random Selection (Bay Networks): load sharing in expectation, no
+//     FIFO delivery.
+//   - Shortest Queue First (the Linux EQL serial-line driver): good load
+//     sharing, no FIFO delivery, and non-causal (depends on queue
+//     occupancy, so a receiver cannot simulate it).
+//   - Address-based Hashing (Bay Networks): per-destination FIFO, but no
+//     load sharing within a destination.
+//   - BONDING-style inverse multiplexing: fixed-size frames with frame
+//     sequence numbers and skew compensation. Guaranteed FIFO and good
+//     load sharing, but requires reformatting all traffic into special
+//     frames — exactly the hardware-level cost the paper's scheme
+//     avoids.
+//
+// These selectors implement per-packet channel choice; the BONDING pair
+// implements a complete byte-striping sender/receiver.
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"stripe/internal/channel"
+	"stripe/internal/packet"
+)
+
+// Selector chooses an output channel per packet. Unlike sched.Scheduler
+// it may consult information beyond transmitted history (queue lengths,
+// addresses), which is what makes these schemes non-causal.
+type Selector interface {
+	// Pick returns the channel for p.
+	Pick(p *packet.Packet) int
+	// N returns the channel count.
+	N() int
+}
+
+// RandomSelection picks a channel uniformly at random.
+type RandomSelection struct {
+	n   int
+	rng *rand.Rand
+}
+
+// NewRandomSelection returns a seeded random selector over n channels.
+func NewRandomSelection(n int, seed int64) (*RandomSelection, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("baseline: need positive channel count, got %d", n)
+	}
+	return &RandomSelection{n: n, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Pick implements Selector.
+func (r *RandomSelection) Pick(*packet.Packet) int { return r.rng.Intn(r.n) }
+
+// N implements Selector.
+func (r *RandomSelection) N() int { return r.n }
+
+// ShortestQueue picks the channel with the smallest current load, as
+// the Linux EQL driver does. Load is provided by a callback so the
+// selector works over any channel implementation.
+type ShortestQueue struct {
+	n    int
+	load func(c int) int
+}
+
+// NewShortestQueue returns a selector over n channels reading load from
+// the callback (for example queued bytes or packets).
+func NewShortestQueue(n int, load func(c int) int) (*ShortestQueue, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("baseline: need positive channel count, got %d", n)
+	}
+	if load == nil {
+		return nil, fmt.Errorf("baseline: ShortestQueue requires a load callback")
+	}
+	return &ShortestQueue{n: n, load: load}, nil
+}
+
+// Pick implements Selector.
+func (s *ShortestQueue) Pick(*packet.Packet) int {
+	best, bestLoad := 0, s.load(0)
+	for c := 1; c < s.n; c++ {
+		if l := s.load(c); l < bestLoad {
+			best, bestLoad = c, l
+		}
+	}
+	return best
+}
+
+// N implements Selector.
+func (s *ShortestQueue) N() int { return s.n }
+
+// AddressHash routes each packet by hashing a key derived from it, so
+// all packets for one destination share a channel (per-destination FIFO,
+// no intra-destination load sharing).
+type AddressHash struct {
+	n   int
+	key func(p *packet.Packet) []byte
+}
+
+// NewAddressHash returns a hashing selector; key extracts the address
+// bytes from a packet (for example the destination field of an embedded
+// header). A nil key hashes the first 4 payload bytes.
+func NewAddressHash(n int, key func(p *packet.Packet) []byte) (*AddressHash, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("baseline: need positive channel count, got %d", n)
+	}
+	if key == nil {
+		key = func(p *packet.Packet) []byte {
+			if len(p.Payload) >= 4 {
+				return p.Payload[:4]
+			}
+			return p.Payload
+		}
+	}
+	return &AddressHash{n: n, key: key}, nil
+}
+
+// Pick implements Selector.
+func (a *AddressHash) Pick(p *packet.Packet) int {
+	h := fnv.New32a()
+	h.Write(a.key(p))
+	return int(h.Sum32() % uint32(a.n))
+}
+
+// N implements Selector.
+func (a *AddressHash) N() int { return a.n }
+
+// Stripe sends one packet through a selector onto its channels; a
+// convenience for the baseline experiments.
+func Stripe(sel Selector, chans []channel.Sender, p *packet.Packet) error {
+	return chans[sel.Pick(p)].Send(p)
+}
+
+// BONDING-style inverse multiplexing
+//
+// The BONDING consortium scheme aggregates synchronous serial channels:
+// the byte stream is chopped into fixed-size frames, each frame carries
+// a sequence number, frames are sent round robin, and the receiver uses
+// the sequence numbers for skew compensation before reassembling the
+// stream. Packets must be rewritten into the frame format — the scheme
+// cannot carry packets unmodified, which is its entry in Table 1.
+
+// bondingHeader is the per-frame overhead: an 8-byte frame sequence
+// number and a 2-byte count of valid payload bytes (partial frames occur
+// only at a flush).
+const bondingHeader = 10
+
+// BondingSender reformats a packet stream into fixed-size frames
+// striped round robin.
+type BondingSender struct {
+	chans     []channel.Sender
+	frameSize int
+	buf       []byte
+	seq       uint64
+}
+
+// NewBondingSender returns a frame striper. frameSize is the frame
+// payload in bytes (excluding the sequence header) and must exceed the
+// 4-byte record header.
+func NewBondingSender(chans []channel.Sender, frameSize int) (*BondingSender, error) {
+	if len(chans) == 0 {
+		return nil, fmt.Errorf("baseline: bonding needs channels")
+	}
+	if frameSize <= 8 || frameSize > 65535 {
+		return nil, fmt.Errorf("baseline: frame size %d outside (8, 65535]", frameSize)
+	}
+	return &BondingSender{chans: chans, frameSize: frameSize}, nil
+}
+
+// Send appends p to the stream as a length-prefixed record and
+// transmits any complete frames.
+func (b *BondingSender) Send(p *packet.Packet) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(p.Len()))
+	b.buf = append(b.buf, hdr[:]...)
+	b.buf = append(b.buf, p.Payload...)
+	return b.drain(false)
+}
+
+// Flush pads and transmits the partial trailing frame so all buffered
+// records are delivered.
+func (b *BondingSender) Flush() error { return b.drain(true) }
+
+func (b *BondingSender) drain(flush bool) error {
+	for len(b.buf) >= b.frameSize || (flush && len(b.buf) > 0) {
+		frame := make([]byte, bondingHeader+b.frameSize)
+		binary.BigEndian.PutUint64(frame[:8], b.seq)
+		n := copy(frame[bondingHeader:], b.buf)
+		b.buf = b.buf[n:]
+		binary.BigEndian.PutUint16(frame[8:10], uint16(n))
+		c := int(b.seq % uint64(len(b.chans)))
+		if err := b.chans[c].Send(&packet.Packet{Kind: packet.Data, Payload: frame}); err != nil {
+			return err
+		}
+		b.seq++
+	}
+	return nil
+}
+
+// BondingReceiver reassembles the frame stream. Frames arrive FIFO per
+// channel; the sequence number says which channel the next frame is on,
+// so skew is absorbed by per-channel buffering.
+type BondingReceiver struct {
+	n         int
+	frameSize int
+	bufs      [][][]byte // per-channel FIFO of frame payloads
+	nextSeq   uint64
+	stream    []byte
+	out       []*packet.Packet
+}
+
+// NewBondingReceiver returns a reassembler for n channels and the given
+// frame payload size.
+func NewBondingReceiver(n, frameSize int) (*BondingReceiver, error) {
+	if n <= 0 || frameSize <= 8 {
+		return nil, fmt.Errorf("baseline: bad bonding receiver config (n=%d, frameSize=%d)", n, frameSize)
+	}
+	return &BondingReceiver{n: n, frameSize: frameSize, bufs: make([][][]byte, n)}, nil
+}
+
+// Arrive accepts a frame received on channel c.
+func (r *BondingReceiver) Arrive(c int, p *packet.Packet) {
+	if c < 0 || c >= r.n || len(p.Payload) < bondingHeader {
+		return
+	}
+	r.bufs[c] = append(r.bufs[c], p.Payload)
+	r.reassemble()
+}
+
+func (r *BondingReceiver) reassemble() {
+	for {
+		c := int(r.nextSeq % uint64(r.n))
+		if len(r.bufs[c]) == 0 {
+			return
+		}
+		frame := r.bufs[c][0]
+		seq := binary.BigEndian.Uint64(frame[:8])
+		if seq != r.nextSeq {
+			// A frame was lost on a supposedly reliable circuit; BONDING
+			// resynchronises at the next frame boundary by adopting the
+			// received sequence if it is ahead.
+			if seq < r.nextSeq {
+				r.bufs[c] = r.bufs[c][1:] // stale duplicate
+				continue
+			}
+			r.nextSeq = seq
+			continue
+		}
+		r.bufs[c] = r.bufs[c][1:]
+		used := int(binary.BigEndian.Uint16(frame[8:10]))
+		if used > len(frame)-bondingHeader {
+			used = len(frame) - bondingHeader
+		}
+		r.consume(frame[bondingHeader : bondingHeader+used])
+		r.nextSeq++
+	}
+}
+
+// consume parses records out of a frame body, accumulating partial
+// records across frames.
+func (r *BondingReceiver) consume(body []byte) {
+	r.stream = append(r.stream, body...)
+	for {
+		if len(r.stream) < 4 {
+			return
+		}
+		l := binary.BigEndian.Uint32(r.stream[:4])
+		if len(r.stream) < 4+int(l) {
+			return
+		}
+		payload := make([]byte, l)
+		copy(payload, r.stream[4:4+l])
+		r.stream = r.stream[4+l:]
+		r.out = append(r.out, &packet.Packet{Kind: packet.Data, Payload: payload})
+	}
+}
+
+// Next returns the next reassembled packet.
+func (r *BondingReceiver) Next() (*packet.Packet, bool) {
+	if len(r.out) == 0 {
+		return nil, false
+	}
+	p := r.out[0]
+	r.out = r.out[1:]
+	return p, true
+}

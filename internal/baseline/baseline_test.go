@@ -1,0 +1,291 @@
+package baseline
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"stripe/internal/channel"
+	"stripe/internal/packet"
+	"stripe/internal/stats"
+)
+
+func TestRandomSelectionSpread(t *testing.T) {
+	r, err := NewRandomSelection(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, 4)
+	p := packet.NewDataSized(100)
+	for i := 0; i < 40000; i++ {
+		counts[r.Pick(p)]++
+	}
+	if idx := stats.JainIndex(counts); idx < 0.99 {
+		t.Fatalf("Jain index %.4f, want ~1", idx)
+	}
+	if r.N() != 4 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if _, err := NewRandomSelection(0, 1); err == nil {
+		t.Error("zero channels accepted")
+	}
+}
+
+func TestShortestQueuePicksMin(t *testing.T) {
+	loads := []int{5, 2, 9}
+	s, err := NewShortestQueue(3, func(c int) int { return loads[c] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Pick(packet.NewDataSized(1)); got != 1 {
+		t.Fatalf("Pick = %d, want 1", got)
+	}
+	loads[1] = 100
+	if got := s.Pick(packet.NewDataSized(1)); got != 0 {
+		t.Fatalf("Pick = %d, want 0", got)
+	}
+	if _, err := NewShortestQueue(2, nil); err == nil {
+		t.Error("nil load callback accepted")
+	}
+	if _, err := NewShortestQueue(-1, func(int) int { return 0 }); err == nil {
+		t.Error("negative channel count accepted")
+	}
+}
+
+func TestShortestQueueBalancesBytes(t *testing.T) {
+	// Feeding a byte-load callback makes SQF share load well even with
+	// variable sizes — its strength; the weakness is ordering, shown in
+	// the harness experiments.
+	rng := rand.New(rand.NewSource(2))
+	var loads [2]int
+	s, _ := NewShortestQueue(2, func(c int) int { return loads[c] })
+	var sent [2]int64
+	for i := 0; i < 20000; i++ {
+		p := packet.NewDataSized(40 + rng.Intn(1460))
+		c := s.Pick(p)
+		loads[c] += p.Len()
+		sent[c] += int64(p.Len())
+		// Drain both "queues" at equal rates slightly below the offered
+		// load, so queues stay occupied and ties (which always break to
+		// channel 0) stay rare.
+		for q := 0; q < 2; q++ {
+			loads[q] -= 380
+			if loads[q] < 0 {
+				loads[q] = 0
+			}
+		}
+	}
+	if idx := stats.JainIndex(sent[:]); idx < 0.99 {
+		t.Fatalf("Jain index %.4f", idx)
+	}
+}
+
+func TestAddressHashStickyAndDeterministic(t *testing.T) {
+	a, err := NewAddressHash(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := packet.NewData([]byte{10, 0, 0, 1, 99, 98})
+	c1 := a.Pick(p)
+	p2 := packet.NewData([]byte{10, 0, 0, 1, 7, 7, 7})
+	if c2 := a.Pick(p2); c2 != c1 {
+		t.Fatalf("same address hashed to %d and %d", c1, c2)
+	}
+	q := packet.NewData([]byte{10, 0, 0, 2})
+	_ = a.Pick(q) // may or may not collide; just must not panic
+	short := packet.NewData([]byte{1})
+	_ = a.Pick(short)
+	if _, err := NewAddressHash(0, nil); err == nil {
+		t.Error("zero channels accepted")
+	}
+}
+
+func TestAddressHashNoLoadSharingPerAddress(t *testing.T) {
+	// All packets to one destination use one channel: per-destination
+	// FIFO but zero intra-destination load sharing (Table 1).
+	a, _ := NewAddressHash(4, nil)
+	counts := make([]int64, 4)
+	p := packet.NewData([]byte{192, 168, 1, 1})
+	for i := 0; i < 1000; i++ {
+		counts[a.Pick(p)]++
+	}
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("one destination spread over %d channels", nonzero)
+	}
+}
+
+func TestStripeHelper(t *testing.T) {
+	g := channel.NewGroup(2, channel.Impairments{})
+	r, _ := NewRandomSelection(2, 3)
+	for i := 0; i < 10; i++ {
+		if err := Stripe(r, g.Senders(), packet.NewDataSized(10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total := g.Queues[0].Len() + g.Queues[1].Len(); total != 10 {
+		t.Fatalf("queued %d packets, want 10", total)
+	}
+}
+
+// TestBondingRoundTrip checks reassembly of a packet stream through the
+// fixed-frame byte striper, including records spanning frames and the
+// padded flush frame.
+func TestBondingRoundTrip(t *testing.T) {
+	g := channel.NewGroup(3, channel.Impairments{})
+	bs, err := NewBondingSender(g.Senders(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBondingReceiver(3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		pl := make([]byte, 1+rng.Intn(300)) // many spans > frameSize
+		rng.Read(pl)
+		want = append(want, pl)
+		if err := bs.Send(packet.NewData(pl)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Deliver frames with inter-channel skew: channel order reversed.
+	for c := 2; c >= 0; c-- {
+		for {
+			p, ok := g.Queues[c].Recv()
+			if !ok {
+				break
+			}
+			br.Arrive(c, p)
+		}
+	}
+	var got [][]byte
+	for {
+		p, ok := br.Next()
+		if !ok {
+			break
+		}
+		got = append(got, p.Payload)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reassembled %d packets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("packet %d mismatch", i)
+		}
+	}
+}
+
+// TestBondingLoadSharing checks that byte striping shares load almost
+// perfectly regardless of packet sizes — the property that needs frame
+// rewriting to get.
+func TestBondingLoadSharing(t *testing.T) {
+	g := channel.NewGroup(2, channel.Impairments{})
+	bs, _ := NewBondingSender(g.Senders(), 128)
+	// The adversarial alternating workload that breaks GRR.
+	for i := 0; i < 1000; i++ {
+		size := 1000
+		if i%2 == 1 {
+			size = 200
+		}
+		if err := bs.Send(packet.NewDataSized(size)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s0 := g.Queues[0].Stats().SentBytes
+	s1 := g.Queues[1].Stats().SentBytes
+	diff := s0 - s1
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 128+10 { // at most one frame of imbalance
+		t.Fatalf("byte imbalance %d (channels %d vs %d)", diff, s0, s1)
+	}
+}
+
+// TestBondingEmptyFlush checks flushing with nothing buffered.
+func TestBondingEmptyFlush(t *testing.T) {
+	g := channel.NewGroup(2, channel.Impairments{})
+	bs, _ := NewBondingSender(g.Senders(), 64)
+	if err := bs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Queues[0].Len()+g.Queues[1].Len() != 0 {
+		t.Fatal("empty flush emitted frames")
+	}
+}
+
+// TestBondingStaleDuplicateDropped exercises the duplicate/stale frame
+// path in the reassembler.
+func TestBondingStaleDuplicateDropped(t *testing.T) {
+	g := channel.NewGroup(2, channel.Impairments{})
+	bs, _ := NewBondingSender(g.Senders(), 32)
+	if err := bs.Send(packet.NewDataSized(100)); err != nil { // several frames
+		t.Fatal(err)
+	}
+	if err := bs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br, _ := NewBondingReceiver(2, 32)
+	var frames [][2]interface{}
+	for c := 0; c < 2; c++ {
+		for {
+			p, ok := g.Queues[c].Recv()
+			if !ok {
+				break
+			}
+			frames = append(frames, [2]interface{}{c, p})
+		}
+	}
+	// Deliver everything once, then replay the first frame (stale).
+	for _, f := range frames {
+		br.Arrive(f[0].(int), f[1].(*packet.Packet))
+	}
+	first := frames[0]
+	br.Arrive(first[0].(int), first[1].(*packet.Packet))
+	n := 0
+	for {
+		if _, ok := br.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("reassembled %d packets, want 1", n)
+	}
+}
+
+// TestBondingConstructorValidation covers argument checks.
+func TestBondingConstructorValidation(t *testing.T) {
+	g := channel.NewGroup(1, channel.Impairments{})
+	if _, err := NewBondingSender(nil, 64); err == nil {
+		t.Error("no channels accepted")
+	}
+	if _, err := NewBondingSender(g.Senders(), 8); err == nil {
+		t.Error("tiny frame accepted")
+	}
+	if _, err := NewBondingSender(g.Senders(), 70000); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	if _, err := NewBondingReceiver(0, 64); err == nil {
+		t.Error("zero-channel receiver accepted")
+	}
+	if _, err := NewBondingReceiver(2, 4); err == nil {
+		t.Error("tiny-frame receiver accepted")
+	}
+}

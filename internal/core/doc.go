@@ -1,0 +1,44 @@
+// Package core implements the paper's striping protocol proper: the
+// sender-side channel striping engine (Striper) and the receiver-side
+// resequencing engine (Resequencer) built on logical reception, together
+// with the marker-based synchronization-recovery protocol of Section 5.
+//
+// # Logical reception (Section 4)
+//
+// The receiver keeps a per-channel buffer between physical reception and
+// logical reception, and runs the same causal scheduling automaton as
+// the sender. The automaton tells the receiver which channel the next
+// packet must be removed from; the receiver blocks on that channel
+// (buffering arrivals on the others) until a packet is available there.
+// If no packets are lost, the delivered sequence equals the sent
+// sequence (Theorem 4.1) with no modification of any data packet.
+//
+// # Markers and quasi-FIFO (Section 5)
+//
+// A single undetected loss desynchronizes the simulation, after which
+// delivery is merely quasi-FIFO. Each packet has an implicit number
+// (G, D) — the sender's global round number and the channel's deficit
+// counter just before the packet is sent. The sender periodically cuts a
+// marker on every channel carrying the implicit number of the next
+// packet it will send on that channel. On receiving a marker (r, d) for
+// channel c the receiver adopts r_c = r and DC_c = d, and skips channel
+// c in its scan while r_c exceeds its own global round G (the receiver
+// arrived "too early" at the channel because packets were lost). Once
+// loss stops, FIFO delivery is restored as soon as one marker has been
+// delivered on every channel (Theorem 5.1) — about one marker period
+// plus a one-way propagation delay, versus a round trip for reset-based
+// schemes.
+//
+// # Delivery modes
+//
+// The Resequencer supports the three receive disciplines compared in
+// Section 6.2: ModeLogical (the paper's scheme), ModeNone (no
+// resequencing; packets delivered in physical arrival order), and
+// ModeSequence (the "with header" variant that resequences on explicit
+// sequence numbers, for channels where adding a header is acceptable).
+//
+// The engines are pure state machines driven by Arrive/Next calls; they
+// contain no goroutines and no clocks, so the same code runs under the
+// synchronous test harness, the discrete-event simulator, and the live
+// goroutine pumps in the public stripe package.
+package core

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stripe/internal/channel"
+	"stripe/internal/packet"
+	"stripe/internal/sched"
+)
+
+// TestDeliveryInvariants is a randomized soak over the whole engine:
+// arbitrary quanta, sizes, loss rates, marker policies and arrival
+// interleavings must never panic and must uphold the conservation
+// invariants — every delivered packet was sent (no invention), nothing
+// is delivered twice (no duplication), and with Drain every packet that
+// physically arrived is eventually delivered (no black holes).
+func TestDeliveryInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nch := 2 + rng.Intn(7)
+		quanta := make([]int64, nch)
+		for i := range quanta {
+			quanta[i] = int64(100 + rng.Intn(4000))
+		}
+		loss := rng.Float64() * 0.6
+		g := channel.NewGroup(nch, channel.Impairments{Loss: loss, Seed: seed})
+		markers := MarkerPolicy{Every: 1 + uint64(rng.Intn(8)), Position: rng.Intn(nch)}
+		if rng.Intn(5) == 0 {
+			markers = MarkerPolicy{} // sometimes no markers at all
+		}
+		st, err := NewStriper(StriperConfig{
+			Sched:    sched.MustSRR(quanta),
+			Channels: g.Senders(),
+			Markers:  markers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := NewResequencer(ResequencerConfig{
+			Sched: sched.MustSRR(quanta),
+			Mode:  ModeLogical,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		n := 100 + rng.Intn(500)
+		seen := make(map[uint64]bool)
+		var delivered []uint64
+		deliver := func(p *packet.Packet) bool {
+			if p.Kind != packet.Data {
+				t.Errorf("non-data packet delivered: %v", p)
+				return false
+			}
+			if p.ID >= uint64(n) {
+				t.Errorf("invented packet ID %d (sent %d)", p.ID, n)
+				return false
+			}
+			if seen[p.ID] {
+				t.Errorf("packet %d delivered twice", p.ID)
+				return false
+			}
+			seen[p.ID] = true
+			delivered = append(delivered, p.ID)
+			return true
+		}
+
+		for i := 0; i < n; i++ {
+			if err := st.Send(packet.NewDataSized(1 + rng.Intn(2000))); err != nil {
+				t.Fatal(err)
+			}
+			// Random partial pumping.
+			for k := 0; k < rng.Intn(3); k++ {
+				c := rng.Intn(nch)
+				if p, ok := g.Queues[c].Recv(); ok {
+					rs.Arrive(c, p)
+				}
+			}
+			for {
+				p, ok := rs.Next()
+				if !ok {
+					break
+				}
+				if !deliver(p) {
+					return false
+				}
+			}
+		}
+		// Final pump and drain.
+		for {
+			moved := false
+			for c, q := range g.Queues {
+				if p, ok := q.Recv(); ok {
+					rs.Arrive(c, p)
+					moved = true
+				}
+			}
+			for {
+				p, ok := rs.Next()
+				if !ok {
+					break
+				}
+				if !deliver(p) {
+					return false
+				}
+			}
+			if !moved {
+				break
+			}
+		}
+		for _, p := range rs.Drain() {
+			if p.Kind == packet.Data && !deliver(p) {
+				return false
+			}
+		}
+		if rs.Buffered() != 0 {
+			t.Errorf("Drain left %d packets", rs.Buffered())
+			return false
+		}
+
+		// Conservation: everything that survived the channels was
+		// delivered exactly once.
+		ts := g.TotalStats()
+		survivors := ts.Sent - ts.Lost - ts.Corrupted
+		// survivors counts markers too; subtract markers that reached
+		// the receiver (all markers that weren't lost).
+		dataSurvivors := int(survivors) - int(rs.Stats().Markers) - int(rs.Stats().BadMarkers)
+		if len(delivered) != dataSurvivors {
+			t.Errorf("seed %d: delivered %d, surviving data packets %d", seed, len(delivered), dataSurvivors)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequenceModeInvariants repeats the soak for the with-header
+// variant, adding the stronger guarantee: delivery is globally FIFO
+// (strictly increasing IDs) even under loss.
+func TestSequenceModeInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nch := 2 + rng.Intn(5)
+		quanta := sched.UniformQuanta(nch, int64(500+rng.Intn(3000)))
+		loss := rng.Float64() * 0.5
+		g := channel.NewGroup(nch, channel.Impairments{Loss: loss, Seed: seed})
+		st, err := NewStriper(StriperConfig{
+			Sched:    sched.MustSRR(quanta),
+			Channels: g.Senders(),
+			AddSeq:   true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := NewResequencer(ResequencerConfig{N: nch, Mode: ModeSequence})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 100 + rng.Intn(400)
+		for i := 0; i < n; i++ {
+			if err := st.Send(packet.NewDataSized(1 + rng.Intn(1500))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var ids []uint64
+		for {
+			moved := false
+			for c, q := range g.Queues {
+				if p, ok := q.Recv(); ok {
+					rs.Arrive(c, p)
+					moved = true
+				}
+			}
+			for {
+				p, ok := rs.Next()
+				if !ok {
+					break
+				}
+				ids = append(ids, p.ID)
+			}
+			if !moved {
+				break
+			}
+		}
+		for _, p := range rs.Drain() {
+			if p.Kind == packet.Data {
+				ids = append(ids, p.ID)
+			}
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i] <= ids[i-1] {
+				t.Errorf("seed %d: sequence mode misordered: %d after %d", seed, ids[i], ids[i-1])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPktFIFOProperty fuzzes the internal ring against a reference
+// slice implementation.
+func TestPktFIFOProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var f pktFIFO
+		var ref []*packet.Packet
+		for op := 0; op < 3000; op++ {
+			switch rng.Intn(3) {
+			case 0: // push
+				p := packet.NewDataSized(rng.Intn(10))
+				p.ID = uint64(op)
+				f.push(p)
+				ref = append(ref, p)
+			case 1: // pop
+				got, ok := f.pop()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				want := ref[0]
+				ref = ref[1:]
+				if !ok || got != want {
+					return false
+				}
+			case 2: // peek
+				got, ok := f.peek()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || got != ref[0] {
+					return false
+				}
+			}
+			if f.len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

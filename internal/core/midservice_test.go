@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stripe/internal/channel"
+	"stripe/internal/packet"
+	"stripe/internal/sched"
+)
+
+// TestMidServiceMarkersStayConsistent pins the trickiest marker
+// convention: a timer-driven batch cut while the sender is mid-service
+// of a channel (quantum already granted) must encode the pre-quantum
+// deficit, and the receiver must apply the mirror-image adjustment —
+// in both its own mid-service and boundary states. Any asymmetry shows
+// up as desynchronization in a lossless run.
+func TestMidServiceMarkersStayConsistent(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nch := 2 + rng.Intn(4)
+		quanta := make([]int64, nch)
+		for i := range quanta {
+			quanta[i] = int64(2000 + rng.Intn(3000)) // big quanta: services span many packets
+		}
+		g := channel.NewGroup(nch, channel.Impairments{})
+		st, err := NewStriper(StriperConfig{
+			Sched:    sched.MustSRR(quanta),
+			Channels: g.Senders(),
+			Markers:  MarkerPolicy{Every: 3, Position: 0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := NewResequencer(ResequencerConfig{
+			Sched: sched.MustSRR(quanta),
+			Mode:  ModeLogical,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 300 + rng.Intn(300)
+		var delivered []*packet.Packet
+		for i := 0; i < n; i++ {
+			// Small packets keep the sender mid-service most of the time;
+			// forced batches land in every automaton state.
+			if err := st.Send(packet.NewDataSized(50 + rng.Intn(400))); err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(3) == 0 {
+				st.EmitMarkers()
+			}
+			if rng.Intn(2) == 0 {
+				c := rng.Intn(nch)
+				if p, ok := g.Queues[c].Recv(); ok {
+					rs.Arrive(c, p)
+				}
+			}
+			for {
+				p, ok := rs.Next()
+				if !ok {
+					break
+				}
+				delivered = append(delivered, p)
+			}
+		}
+		delivered = append(delivered, pumpAll(g, rs)...)
+		if len(delivered) != n {
+			t.Logf("seed %d: delivered %d of %d", seed, len(delivered), n)
+			return false
+		}
+		for i, p := range delivered {
+			if p.ID != uint64(i) {
+				t.Logf("seed %d: position %d got ID %d (resyncs=%d)", seed, i, p.ID, rs.Stats().Resyncs)
+				return false
+			}
+		}
+		// A lossless run must need no state corrections at all: every
+		// marker, wherever it was cut, must agree with the receiver.
+		if rs.Stats().Resyncs != 0 {
+			t.Logf("seed %d: %d spurious resyncs in a lossless run", seed, rs.Stats().Resyncs)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMidServiceMarkersRecoverLoss combines forced mid-service batches
+// with loss: the tail after losses stop must still come out complete
+// and FIFO.
+func TestMidServiceMarkersRecoverLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const nch = 3
+	quanta := sched.UniformQuanta(nch, 4000)
+	g := channel.NewGroup(nch, channel.Impairments{})
+	drop := map[uint64]bool{}
+	const lossy = 1500
+	const total = 2500
+	for i := uint64(0); i < lossy; i++ {
+		if rng.Float64() < 0.25 {
+			drop[i] = true
+		}
+	}
+	senders := g.Senders()
+	for i := range senders {
+		senders[i] = &dropSender{inner: senders[i], drop: drop}
+	}
+	st := mustStriper(t, StriperConfig{
+		Sched:    sched.MustSRR(quanta),
+		Channels: senders,
+		Markers:  MarkerPolicy{Every: 2, Position: 0},
+	})
+	rs := mustReseq(t, ResequencerConfig{Sched: sched.MustSRR(quanta), Mode: ModeLogical})
+
+	var delivered []*packet.Packet
+	for i := 0; i < total; i++ {
+		if err := st.Send(packet.NewDataSized(100 + rng.Intn(600))); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 0 {
+			st.EmitMarkers() // timer markers landing mid-service constantly
+		}
+		for k := 0; k < 2; k++ {
+			c := rng.Intn(nch)
+			if p, ok := g.Queues[c].Recv(); ok {
+				rs.Arrive(c, p)
+			}
+		}
+		for {
+			p, ok := rs.Next()
+			if !ok {
+				break
+			}
+			delivered = append(delivered, p)
+		}
+	}
+	delivered = append(delivered, pumpAll(g, rs)...)
+	delivered = append(delivered, rs.Drain()...)
+
+	const margin = 120
+	var tail []uint64
+	for _, p := range delivered {
+		if p.ID >= lossy+margin {
+			tail = append(tail, p.ID)
+		}
+	}
+	if len(tail) != total-lossy-margin {
+		t.Fatalf("tail has %d packets, want %d", len(tail), total-lossy-margin)
+	}
+	for i := 1; i < len(tail); i++ {
+		if tail[i] != tail[i-1]+1 {
+			t.Fatalf("tail misordered: %d after %d", tail[i], tail[i-1])
+		}
+	}
+}

@@ -1,0 +1,712 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"stripe/internal/packet"
+	"stripe/internal/sched"
+)
+
+// Mode selects the receive discipline.
+type Mode uint8
+
+const (
+	// ModeLogical is the paper's scheme: per-channel buffering plus
+	// receiver simulation of the sender automaton, giving quasi-FIFO
+	// delivery with unmodified packets and marker-based recovery.
+	ModeLogical Mode = iota
+	// ModeNone performs no resequencing: packets are delivered in
+	// physical arrival order. This is the "no logical reception"
+	// baseline of Figure 15.
+	ModeNone
+	// ModeSequence resequences on explicit per-packet sequence numbers
+	// (requires the striper's AddSeq). Delivery is guaranteed FIFO; a
+	// sequence gap is declared lost once every channel's head has moved
+	// past it (per-channel FIFO makes that sound).
+	ModeSequence
+)
+
+// ResequencerConfig configures a receiver engine.
+type ResequencerConfig struct {
+	// Sched is the receiver's copy of the sender automaton, in the
+	// common start state. Required for ModeLogical (unless CausalSched
+	// is given); ignored otherwise.
+	Sched sched.RoundBased
+	// CausalSched enables logical reception for causal schedulers
+	// without round structure (for example the randomized RFQ of
+	// Section 3.4). Theorem 4.1 needs only causality, so FIFO delivery
+	// works; the round/deficit marker recovery of Section 5 does not
+	// apply, so resynchronization after loss requires a reset. Ignored
+	// when Sched is set.
+	CausalSched sched.Causal
+	// N is the channel count; required for ModeNone and ModeSequence
+	// (ModeLogical takes it from Sched).
+	N int
+	// Mode selects the receive discipline.
+	Mode Mode
+	// OnMarker, when non-nil, observes every structurally valid marker
+	// (in any mode). The flow controller uses it to read piggybacked
+	// credits.
+	OnMarker func(ch int, m packet.MarkerBlock)
+	// SelfHealGap tunes the self-stabilization detector: a marker counts
+	// as evidence of state corruption only when it is stale by more than
+	// this many rounds. Legitimate staleness (markers buffered behind
+	// data while overdrafted channels are skipped) is bounded by roughly
+	// Max/min(Quantum) rounds, so the default of 256 never fires for
+	// sane configurations. Zero selects the default; negative disables
+	// self-healing.
+	SelfHealGap int64
+}
+
+// ResequencerStats counts receiver events.
+type ResequencerStats struct {
+	Delivered      int64 // data packets handed to the application
+	DeliveredBytes int64
+	Markers        int64 // valid markers consumed
+	BadMarkers     int64 // markers dropped as corrupt
+	Resyncs        int64 // markers that changed receiver state (r_c or DC)
+	Skips          int64 // channel visits skipped under the r_c > G rule
+	Resets         int64 // epoch resets applied
+	OldEpochDrops  int64 // packets discarded while waiting out a reset
+	SelfHeals      int64 // self-stabilization events (state adopted from markers)
+}
+
+// Resequencer is the receiver engine. Drive it by pushing packets from
+// each channel with Arrive and pulling in-order deliveries with Next.
+// It is a pure state machine: not safe for concurrent use.
+type Resequencer struct {
+	mode   Mode
+	s      sched.RoundBased
+	cs     sched.Causal // round-less causal simulation (no markers)
+	csInit sched.State  // cs start state, for resets
+	n      int
+	bufs   []pktFIFO
+	arrivq pktFIFO // ModeNone delivery queue
+
+	// Marker state (ModeLogical).
+	expect   []uint64
+	marked   []bool
+	onMarker func(int, packet.MarkerBlock)
+
+	// Sequence state (ModeSequence).
+	nextSeq uint64
+
+	// Reset/epoch state.
+	epoch     uint64
+	resetting bool
+	passed    []bool
+
+	stats ResequencerStats
+	// Per-channel delivered byte counts, used by credit-based flow
+	// control to compute cumulative grants.
+	deliveredOn []int64
+
+	// Self-stabilization state (Section 5's closing remark). A marker
+	// whose round is *behind* the receiver's global round is "stale".
+	// Transient staleness is normal (old markers still in flight), but
+	// when every channel's latest marker is stale and no packet has been
+	// delivered in between, the receiver's state cannot be a consistent
+	// continuation of the sender's — it was corrupted (or wedged, which
+	// deserves the same medicine). The receiver then adopts the state
+	// the markers themselves declare, which resynchronizes in O(1)
+	// without a round trip.
+	staleRound   []uint64
+	staleDeficit []int64
+	staleHas     []bool
+	staleCount   int
+	healGap      uint64 // 0 = disabled
+}
+
+// NewResequencer validates the configuration and returns a receiver.
+func NewResequencer(cfg ResequencerConfig) (*Resequencer, error) {
+	n := cfg.N
+	var cs sched.Causal
+	if cfg.Mode == ModeLogical {
+		switch {
+		case cfg.Sched != nil:
+			n = cfg.Sched.N()
+		case cfg.CausalSched != nil:
+			cs = cfg.CausalSched
+			n = cs.N()
+		default:
+			return nil, errors.New("core: ModeLogical requires a scheduler")
+		}
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("core: need a positive channel count, got %d", n)
+	}
+	healGap := uint64(256)
+	switch {
+	case cfg.SelfHealGap > 0:
+		healGap = uint64(cfg.SelfHealGap)
+	case cfg.SelfHealGap < 0:
+		healGap = 0
+	}
+	rr := &Resequencer{
+		mode:         cfg.Mode,
+		s:            cfg.Sched,
+		cs:           cs,
+		n:            n,
+		healGap:      healGap,
+		bufs:         make([]pktFIFO, n),
+		expect:       make([]uint64, n),
+		marked:       make([]bool, n),
+		passed:       make([]bool, n),
+		onMarker:     cfg.OnMarker,
+		deliveredOn:  make([]int64, n),
+		staleRound:   make([]uint64, n),
+		staleDeficit: make([]int64, n),
+		staleHas:     make([]bool, n),
+	}
+	if cs != nil {
+		rr.csInit = cs.Snapshot().Clone()
+	}
+	return rr, nil
+}
+
+// N returns the channel count.
+func (r *Resequencer) N() int { return r.n }
+
+// Stats returns a copy of the receiver counters.
+func (r *Resequencer) Stats() ResequencerStats { return r.stats }
+
+// DeliveredBytesOn returns the cumulative data bytes delivered that
+// arrived on channel c. Credit-based flow control derives cumulative
+// grants from it.
+func (r *Resequencer) DeliveredBytesOn(c int) int64 { return r.deliveredOn[c] }
+
+// Buffered returns the total number of packets waiting in per-channel
+// buffers (plus, in ModeNone, the delivery queue).
+func (r *Resequencer) Buffered() int {
+	t := r.arrivq.len()
+	for i := range r.bufs {
+		t += r.bufs[i].len()
+	}
+	return t
+}
+
+// Arrive accepts a packet physically received on channel c. Packets are
+// buffered; ordering decisions happen in Next.
+func (r *Resequencer) Arrive(c int, p *packet.Packet) {
+	if c < 0 || c >= r.n {
+		return // unknown channel: drop defensively
+	}
+	if r.resetting && !r.passed[c] {
+		// Waiting for this channel's reset boundary: everything before
+		// it belongs to the old epoch.
+		if p.Kind == packet.Reset && resetEpoch(p) == r.epoch {
+			r.passed[c] = true
+			if r.allPassed() {
+				r.resetting = false
+			}
+		} else {
+			r.stats.OldEpochDrops++
+		}
+		return
+	}
+	switch r.mode {
+	case ModeNone:
+		switch p.Kind {
+		case packet.Data:
+			// In arrival-order mode delivery is immediate, so the drain
+			// accounting used by flow control happens here.
+			r.deliveredOn[c] += int64(p.Len())
+			r.arrivq.push(p)
+		case packet.Marker:
+			if m, err := packet.MarkerOf(p); err == nil {
+				r.stats.Markers++
+				if r.onMarker != nil {
+					r.onMarker(c, m)
+				}
+			} else {
+				r.stats.BadMarkers++
+			}
+		case packet.Reset:
+			r.applyReset(c, p)
+		}
+	default:
+		r.bufs[c].push(p)
+	}
+}
+
+// WaitingOn returns the channel logical reception is blocked on. It is
+// meaningful after Next returned false in ModeLogical.
+func (r *Resequencer) WaitingOn() int {
+	if r.mode != ModeLogical {
+		return -1
+	}
+	if r.cs != nil {
+		return r.cs.Select()
+	}
+	return r.s.Current()
+}
+
+// Next returns the next packet in delivery order, or false if the
+// receiver must wait for more arrivals.
+func (r *Resequencer) Next() (*packet.Packet, bool) {
+	switch r.mode {
+	case ModeNone:
+		return r.arrivq.pop()
+	case ModeSequence:
+		return r.nextSequence()
+	default:
+		if r.cs != nil {
+			return r.nextCausal()
+		}
+		return r.nextLogical()
+	}
+}
+
+// nextCausal is logical reception for round-less causal schedulers:
+// pure sender simulation, no marker protocol.
+func (r *Resequencer) nextCausal() (*packet.Packet, bool) {
+	for {
+		c := r.cs.Select()
+		p, ok := r.bufs[c].peek()
+		if !ok {
+			return nil, false
+		}
+		switch p.Kind {
+		case packet.Marker:
+			r.bufs[c].pop()
+			if m, err := packet.MarkerOf(p); err == nil {
+				r.stats.Markers++
+				if r.onMarker != nil {
+					r.onMarker(c, m)
+				}
+			} else {
+				r.stats.BadMarkers++
+			}
+		case packet.Reset:
+			r.bufs[c].pop()
+			r.applyReset(c, p)
+		case packet.Credit:
+			r.bufs[c].pop()
+		default:
+			r.bufs[c].pop()
+			r.cs.Account(p.Len())
+			r.stats.Delivered++
+			r.stats.DeliveredBytes += int64(p.Len())
+			r.deliveredOn[c] += int64(p.Len())
+			return p, true
+		}
+	}
+}
+
+func (r *Resequencer) skipRule(c int) bool {
+	if r.marked[c] && r.expect[c] > r.s.Round() {
+		r.stats.Skips++
+		return true
+	}
+	return false
+}
+
+// maybeFastForward jumps the receiver's round directly to the smallest
+// expected round when every channel is skip-listed, so recovery after a
+// long outage costs O(channels) instead of O(rounds missed).
+func (r *Resequencer) maybeFastForward() {
+	if r.s.MidService() {
+		return
+	}
+	min := uint64(0)
+	have := false
+	for c := 0; c < r.n; c++ {
+		if !r.marked[c] || r.expect[c] <= r.s.Round() {
+			return
+		}
+		if !have || r.expect[c] < min {
+			min = r.expect[c]
+			have = true
+		}
+	}
+	r.s.AdvanceRoundTo(min)
+}
+
+func (r *Resequencer) nextLogical() (*packet.Packet, bool) {
+	for {
+		r.maybeFastForward()
+		c := r.s.SelectFor(r.skipRule)
+		p, ok := r.bufs[c].peek()
+		if !ok {
+			// Logical reception blocks here until channel c produces the
+			// packet the simulation says comes next.
+			return nil, false
+		}
+		switch p.Kind {
+		case packet.Marker:
+			r.bufs[c].pop()
+			m, err := packet.MarkerOf(p)
+			if err != nil {
+				r.stats.BadMarkers++
+				continue
+			}
+			r.stats.Markers++
+			if r.onMarker != nil {
+				r.onMarker(c, m)
+			}
+			r.applyMarker(c, m)
+		case packet.Reset:
+			r.bufs[c].pop()
+			r.applyReset(c, p)
+		case packet.Credit:
+			// Credits belong on the reverse path; tolerate and drop.
+			r.bufs[c].pop()
+		default:
+			r.bufs[c].pop()
+			r.s.Account(p.Len())
+			r.stats.Delivered++
+			r.stats.DeliveredBytes += int64(p.Len())
+			r.deliveredOn[c] += int64(p.Len())
+			return p, true
+		}
+	}
+}
+
+// applyMarker adopts the sender state (r_c, DC_c) carried by a marker
+// for channel c. It is invoked from the scan, where channel c is the
+// one under service, so the receiver may be mid-service of c.
+func (r *Resequencer) applyMarker(c int, m packet.MarkerBlock) {
+	// Condition C2: adopt the sender's numbering of the channel. The
+	// engines index channels identically by construction, so a
+	// disagreement indicates mis-wiring; the marker is ignored rather
+	// than corrupting another channel's state.
+	if int(m.Channel) != c {
+		r.stats.BadMarkers++
+		return
+	}
+	g := r.s.Round()
+	switch {
+	case m.Round > g:
+		// The sender's next packet on c is rounds ahead: the receiver
+		// has been consuming too eagerly (losses upstream). Close the
+		// channel's service and skip it until G catches up.
+		if r.s.MidService() && r.s.Current() == c {
+			r.s.SetDeficit(c, m.Deficit)
+			r.s.EndService()
+		} else {
+			r.s.SetDeficit(c, m.Deficit)
+		}
+		if !r.marked[c] || r.expect[c] != m.Round {
+			r.stats.Resyncs++
+		}
+		r.marked[c] = true
+		r.expect[c] = m.Round
+	case m.Round == g:
+		// In the current round. If the channel is mid-service the
+		// quantum has already been granted on top of the marker's
+		// pre-service deficit.
+		d := m.Deficit
+		if r.s.MidService() && r.s.Current() == c {
+			d += r.s.QuantumOf(c)
+		}
+		if r.s.Deficit(c) != d {
+			r.stats.Resyncs++
+			r.s.SetDeficit(c, d)
+		}
+		r.marked[c] = true
+		r.expect[c] = m.Round
+	default:
+		// Stale marker from a round the receiver already passed. Mild
+		// staleness is routine: a marker can sit buffered behind data
+		// while its channel is overdraft-skipped, so the receiver's
+		// round moves past it legitimately. But a marker stale by far
+		// more than any overdraft horizon on *every* channel, with no
+		// fresh marker in between, means the receiver's round ran ahead
+		// of anything the sender ever declared — corrupt state — and the
+		// markers themselves are the authoritative state to adopt.
+		if r.healGap == 0 || g-m.Round <= r.healGap {
+			return
+		}
+		r.staleRound[c] = m.Round
+		r.staleDeficit[c] = m.Deficit
+		if !r.staleHas[c] {
+			r.staleHas[c] = true
+		}
+		r.staleCount++
+		if r.staleCount >= 2*r.n && r.allStale() {
+			r.selfHeal()
+		}
+		return
+	}
+	// A current or future marker clears the self-stabilization alarm.
+	r.clearStale()
+}
+
+func (r *Resequencer) allStale() bool {
+	for _, ok := range r.staleHas {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Resequencer) clearStale() {
+	if r.staleCount == 0 {
+		return
+	}
+	r.staleCount = 0
+	for i := range r.staleHas {
+		r.staleHas[i] = false
+	}
+}
+
+// selfHeal adopts the per-channel states declared by the latest (stale)
+// markers: the receiver restarts its simulation at the earliest round
+// any channel expects, with every channel's deficit and expected round
+// taken from its marker, and lets the ordinary skip rule do the rest.
+func (r *Resequencer) selfHeal() {
+	min := r.staleRound[0]
+	for _, v := range r.staleRound[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	r.s.Restore(sched.State{
+		Current:  0,
+		Round:    min,
+		Began:    false,
+		Deficits: append([]int64(nil), r.staleDeficit...),
+	})
+	for c := 0; c < r.n; c++ {
+		r.marked[c] = true
+		r.expect[c] = r.staleRound[c]
+	}
+	r.stats.SelfHeals++
+	r.stats.Resyncs++
+	r.clearStale()
+}
+
+func (r *Resequencer) nextSequence() (*packet.Packet, bool) {
+scan:
+	for {
+		// Deliver any head matching the expected sequence number.
+		allHeads := true
+		minSeq := uint64(0)
+		minCh := -1
+		for c := 0; c < r.n; c++ {
+			p, ok := r.bufs[c].peek()
+			if !ok {
+				allHeads = false
+				continue
+			}
+			switch p.Kind {
+			case packet.Data:
+				if !p.HasSeq {
+					// Not stamped: cannot be ordered; deliver eagerly.
+					r.bufs[c].pop()
+					r.stats.Delivered++
+					r.stats.DeliveredBytes += int64(p.Len())
+					r.deliveredOn[c] += int64(p.Len())
+					return p, true
+				}
+				if p.Seq == r.nextSeq {
+					r.bufs[c].pop()
+					r.nextSeq++
+					r.stats.Delivered++
+					r.stats.DeliveredBytes += int64(p.Len())
+					r.deliveredOn[c] += int64(p.Len())
+					return p, true
+				}
+				if minCh == -1 || p.Seq < minSeq {
+					minSeq = p.Seq
+					minCh = c
+				}
+			case packet.Marker:
+				r.bufs[c].pop()
+				if m, err := packet.MarkerOf(p); err == nil {
+					r.stats.Markers++
+					if r.onMarker != nil {
+						r.onMarker(c, m)
+					}
+				} else {
+					r.stats.BadMarkers++
+				}
+				continue scan
+			case packet.Reset:
+				r.bufs[c].pop()
+				r.applyReset(c, p)
+				continue scan
+			default:
+				r.bufs[c].pop()
+				continue scan
+			}
+		}
+		if !allHeads {
+			// Some channel is empty; the expected sequence number may
+			// still arrive there (per-channel FIFO guarantees each
+			// channel's sequence numbers are increasing).
+			return nil, false
+		}
+		if minCh == -1 {
+			return nil, false
+		}
+		// Every channel has a data head and all exceed nextSeq: the gap
+		// [nextSeq, minSeq) was lost. Declare it and resume at minSeq.
+		r.stats.Resyncs++
+		r.nextSeq = minSeq
+	}
+}
+
+func (r *Resequencer) applyReset(c int, p *packet.Packet) {
+	e := resetEpoch(p)
+	if e <= r.epoch {
+		return // duplicate or stale reset
+	}
+	r.epoch = e
+	r.resetting = true
+	r.stats.Resets++
+	for i := range r.passed {
+		r.passed[i] = false
+		r.marked[i] = false
+		r.expect[i] = 0
+	}
+	r.nextSeq = 0
+	if r.s != nil {
+		r.s.Reset()
+	}
+	if r.cs != nil {
+		r.cs.Restore(r.csInit.Clone())
+	}
+	r.arrivq.clear()
+	// The channel the reset arrived on is past its boundary; the others
+	// flush buffered old-epoch packets, keeping anything after their own
+	// reset boundary.
+	r.passed[c] = true
+	for i := range r.bufs {
+		if i == c {
+			continue
+		}
+		for {
+			q, ok := r.bufs[i].pop()
+			if !ok {
+				break
+			}
+			if q.Kind == packet.Reset && resetEpoch(q) == e {
+				r.passed[i] = true
+				break
+			}
+			r.stats.OldEpochDrops++
+		}
+	}
+	if r.allPassed() {
+		r.resetting = false
+	}
+}
+
+func (r *Resequencer) allPassed() bool {
+	for _, ok := range r.passed {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func resetEpoch(p *packet.Packet) uint64 {
+	if len(p.Payload) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p.Payload[:8])
+}
+
+// Drain empties the receive buffers at end of stream, best effort: it
+// keeps running the normal discipline, and whenever the discipline
+// blocks on an empty channel it force-advances past it. The tail of a
+// finite transfer is therefore delivered without waiting for traffic
+// that will never come. Reordering at the drained tail is possible after
+// unrecovered loss, exactly like quasi-FIFO.
+func (r *Resequencer) Drain() []*packet.Packet {
+	var out []*packet.Packet
+	for r.Buffered() > 0 {
+		p, ok := r.Next()
+		if ok {
+			out = append(out, p)
+			continue
+		}
+		switch r.mode {
+		case ModeLogical:
+			if r.cs != nil {
+				// Round-less causal simulation: charge a phantom packet
+				// to move the automaton past the exhausted channel.
+				r.cs.Account(1)
+				continue
+			}
+			// Blocked on an empty channel: abandon its service and clear
+			// any skip marks that could spin the scan.
+			for i := range r.marked {
+				r.marked[i] = false
+			}
+			r.s.EndService()
+		case ModeSequence:
+			// Blocked on a gap that cannot fill: release the smallest
+			// buffered sequence number.
+			min, ch := uint64(0), -1
+			for c := 0; c < r.n; c++ {
+				if p, ok := r.bufs[c].peek(); ok && p.Kind == packet.Data && p.HasSeq {
+					if ch == -1 || p.Seq < min {
+						min, ch = p.Seq, c
+					}
+				}
+			}
+			if ch == -1 {
+				// Only control packets remain; consume them.
+				for c := 0; c < r.n; c++ {
+					for r.bufs[c].len() > 0 {
+						r.bufs[c].pop()
+					}
+				}
+				continue
+			}
+			r.nextSeq = min
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// pktFIFO is a slice-backed packet FIFO with amortised O(1) pop.
+type pktFIFO struct {
+	buf  []*packet.Packet
+	head int
+}
+
+func (f *pktFIFO) push(p *packet.Packet) { f.buf = append(f.buf, p) }
+
+func (f *pktFIFO) len() int { return len(f.buf) - f.head }
+
+func (f *pktFIFO) peek() (*packet.Packet, bool) {
+	if f.head == len(f.buf) {
+		return nil, false
+	}
+	return f.buf[f.head], true
+}
+
+func (f *pktFIFO) pop() (*packet.Packet, bool) {
+	if f.head == len(f.buf) {
+		return nil, false
+	}
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	} else if f.head > 256 && f.head*2 > len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		for i := n; i < len(f.buf); i++ {
+			f.buf[i] = nil
+		}
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return p, true
+}
+
+func (f *pktFIFO) clear() {
+	f.buf = f.buf[:0]
+	f.head = 0
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"stripe/internal/channel"
+	"stripe/internal/packet"
+	"stripe/internal/sched"
+)
+
+// TestSelfHealFromCorruptReceiverState exercises the self-stabilization
+// extension the paper sketches at the end of Section 5: an arbitrary
+// corruption of the receiver's state (here, its global round jumping
+// far ahead of the sender — the one fault ordinary markers cannot fix,
+// because they all look stale) is detected from the uniform staleness
+// of incoming markers and healed by adopting the state the markers
+// declare. Afterwards delivery is FIFO again.
+func TestSelfHealFromCorruptReceiverState(t *testing.T) {
+	const nch = 2
+	quanta := sched.UniformQuanta(nch, 100)
+	g := channel.NewGroup(nch, channel.Impairments{})
+	st := mustStriper(t, StriperConfig{
+		Sched:    sched.MustSRR(quanta),
+		Channels: g.Senders(),
+		Markers:  MarkerPolicy{Every: 2, Position: 0},
+	})
+	rs := mustReseq(t, ResequencerConfig{
+		Sched: sched.MustSRR(quanta),
+		Mode:  ModeLogical,
+	})
+
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := st.Send(packet.NewDataSized(100)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Healthy warm-up.
+	send(20)
+	first := pumpAll(g, rs)
+	if len(first) != 20 {
+		t.Fatalf("warm-up delivered %d", len(first))
+	}
+
+	// Fault injection: the receiver's round leaps far ahead (bit flip,
+	// bad memory, software bug). Without self-stabilization this is
+	// permanent: every future marker is "stale" and ignored, the skip
+	// rule never fires, and delivery degenerates to arrival order.
+	rs.s.Restore(sched.State{Current: 0, Round: 1 << 20, Deficits: make([]int64, nch)})
+
+	send(200)
+	after := pumpAll(g, rs)
+	stats := rs.Stats()
+	if stats.SelfHeals == 0 {
+		t.Fatalf("no self-heal occurred; stats %+v", stats)
+	}
+
+	// Everything sent after the heal must come out in exact order. Find
+	// the heal point empirically: the suffix of deliveries must be
+	// strictly increasing and cover the tail of the ID space.
+	ids := make([]uint64, len(after))
+	for i, p := range after {
+		ids[i] = p.ID
+	}
+	suffix := len(ids) - 1
+	for suffix > 0 && ids[suffix-1] < ids[suffix] {
+		suffix--
+	}
+	inOrder := len(ids) - suffix
+	if inOrder < 100 {
+		t.Fatalf("only the last %d deliveries were in order after healing; ids tail: %v",
+			inOrder, ids[max(0, len(ids)-20):])
+	}
+	if last := ids[len(ids)-1]; last != 219 {
+		t.Fatalf("final delivery ID %d, want 219 (nothing lost after heal)", last)
+	}
+}
+
+// TestSelfHealDoesNotFireInHealthyLossyRuns guards against spurious
+// healing: a long lossy run with frequent markers must recover through
+// ordinary marker resynchronization; occasional self-heals are benign
+// but must not dominate.
+func TestSelfHealDoesNotFireInHealthyLossyRuns(t *testing.T) {
+	const nch = 3
+	quanta := sched.UniformQuanta(nch, 1500)
+	g := channel.NewGroup(nch, channel.Impairments{Loss: 0.3, Seed: 17})
+	st := mustStriper(t, StriperConfig{
+		Sched:    sched.MustSRR(quanta),
+		Channels: g.Senders(),
+		Markers:  MarkerPolicy{Every: 2, Position: 0},
+	})
+	rs := mustReseq(t, ResequencerConfig{
+		Sched: sched.MustSRR(quanta),
+		Mode:  ModeLogical,
+	})
+	for i := 0; i < 3000; i++ {
+		if err := st.Send(packet.NewDataSized(100 + (i*131)%1300)); err != nil {
+			t.Fatal(err)
+		}
+		if i%4 == 0 {
+			for c, q := range g.Queues {
+				if p, ok := q.Recv(); ok {
+					rs.Arrive(c, p)
+				}
+			}
+			for {
+				if _, ok := rs.Next(); !ok {
+					break
+				}
+			}
+		}
+	}
+	pumpAll(g, rs)
+	stats := rs.Stats()
+	if stats.Resyncs == 0 {
+		t.Fatal("lossy run produced no ordinary resyncs")
+	}
+	if stats.SelfHeals > stats.Resyncs/4 {
+		t.Fatalf("self-heals (%d) dominate ordinary resyncs (%d)", stats.SelfHeals, stats.Resyncs)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"stripe/internal/channel"
+	"stripe/internal/packet"
+	"stripe/internal/sched"
+)
+
+// MarkerPolicy controls when the sender cuts synchronization markers.
+type MarkerPolicy struct {
+	// Every is the marker period in rounds: a marker batch (one marker
+	// per channel) is cut every `Every` rounds. Zero disables markers.
+	Every uint64
+	// Position is the channel index the round-robin pointer must rest on
+	// when the batch is cut: 0 places markers at the beginning of a
+	// round, N-1 near its end. Section 6.3 studies how this placement
+	// affects the number of out-of-order deliveries.
+	Position int
+}
+
+// StriperConfig configures a sender engine.
+type StriperConfig struct {
+	// Sched is the causal scheduling automaton; the receiver must be
+	// built from an automaton with identical parameters. Required
+	// unless CausalSched is given.
+	Sched sched.RoundBased
+	// CausalSched stripes with a round-less causal scheduler (for
+	// example RFQ). Markers are unavailable — the Section 5 protocol is
+	// round-based — so configure Markers only with Sched.
+	CausalSched sched.Causal
+	// Channels are the transmit sides of the striped channels, indexed
+	// exactly as the receiver indexes them (condition C2). Required.
+	Channels []channel.Sender
+	// Markers configures periodic synchronization markers.
+	Markers MarkerPolicy
+	// AddSeq makes the striper stamp an explicit sequence number on
+	// every data packet — the "with header" protocol variants of
+	// Table 1. The default (false) transmits data packets unmodified.
+	AddSeq bool
+	// Gate, when non-nil, is consulted before each transmission; it
+	// implements per-channel flow control (credits). A nil gate admits
+	// everything.
+	Gate Gate
+	// MarkerCredits, when non-nil, fills the Credits field of each
+	// outgoing marker with the cumulative flow-control grant for the
+	// *reverse* direction's channel c — the paper's observation that
+	// credits piggyback naturally on the periodic marker traffic.
+	MarkerCredits func(c int) uint64
+}
+
+// Gate is the hook the credit-based flow controller plugs into.
+type Gate interface {
+	// Admit reports whether a packet of the given size may currently be
+	// sent on channel c.
+	Admit(c int, size int) bool
+	// Consume records that a packet of the given size was sent on c.
+	Consume(c int, size int)
+}
+
+// ErrGated is returned by Send when flow control blocks the selected
+// channel. The caller retries after credits arrive; the scheduler state
+// is untouched, so the retry goes to the same channel (anything else
+// would break the receiver's simulation).
+var ErrGated = errors.New("core: selected channel out of credits")
+
+// Striper is the sender engine: it accepts a single FIFO stream of
+// packets and pushes each to the channel chosen by the causal automaton,
+// cutting periodic markers. It is a pure state machine — not safe for
+// concurrent use; wrap it in one goroutine (as package stripe does).
+type Striper struct {
+	s             sched.Scheduler  // send-path automaton (rb or cs)
+	rb            sched.RoundBased // non-nil for round-based scheduling
+	cs            sched.Causal     // non-nil for round-less causal scheduling
+	csInit        sched.State      // cs start state, for resets
+	out           []channel.Sender
+	policy        MarkerPolicy
+	addSeq        bool
+	gate          Gate
+	markerCredits func(c int) uint64
+	nextMark      uint64 // round at/after which the next marker batch is due
+	nextSeq       uint64
+	nextID        uint64
+	clock         int64
+	epoch         uint64
+
+	// Counters.
+	sentData    int64
+	sentBytes   int64
+	sentMarkers int64
+	sentOn      []int64 // data bytes per channel
+	sentPktsOn  []int64 // data packets per channel
+}
+
+// NewStriper validates the configuration and returns a sender engine.
+func NewStriper(cfg StriperConfig) (*Striper, error) {
+	var s sched.Scheduler
+	switch {
+	case cfg.Sched != nil:
+		s = cfg.Sched
+	case cfg.CausalSched != nil:
+		if cfg.Markers.Every != 0 {
+			return nil, errors.New("core: markers require a round-based scheduler")
+		}
+		s = cfg.CausalSched
+	default:
+		return nil, errors.New("core: StriperConfig.Sched is required")
+	}
+	if len(cfg.Channels) != s.N() {
+		return nil, fmt.Errorf("core: %d channels but scheduler expects %d", len(cfg.Channels), s.N())
+	}
+	if cfg.Sched != nil && (cfg.Markers.Position < 0 || cfg.Markers.Position >= cfg.Sched.N()) {
+		if cfg.Markers.Every != 0 {
+			return nil, fmt.Errorf("core: marker position %d out of range [0,%d)", cfg.Markers.Position, cfg.Sched.N())
+		}
+	}
+	st := &Striper{
+		s:             s,
+		rb:            cfg.Sched,
+		out:           append([]channel.Sender(nil), cfg.Channels...),
+		policy:        cfg.Markers,
+		addSeq:        cfg.AddSeq,
+		gate:          cfg.Gate,
+		markerCredits: cfg.MarkerCredits,
+	}
+	if cfg.Sched == nil {
+		st.cs = cfg.CausalSched
+		st.csInit = st.cs.Snapshot().Clone()
+	}
+	st.sentOn = make([]int64, len(st.out))
+	st.sentPktsOn = make([]int64, len(st.out))
+	if st.policy.Every != 0 {
+		st.nextMark = st.policy.Every
+	}
+	return st, nil
+}
+
+// N returns the number of channels.
+func (st *Striper) N() int { return len(st.out) }
+
+// Round returns the sender's global round number G (zero for
+// round-less causal schedulers).
+func (st *Striper) Round() uint64 {
+	if st.rb == nil {
+		return 0
+	}
+	return st.rb.Round()
+}
+
+// SentData returns the number of data packets transmitted.
+func (st *Striper) SentData() int64 { return st.sentData }
+
+// SentBytes returns the number of data payload bytes transmitted.
+func (st *Striper) SentBytes() int64 { return st.sentBytes }
+
+// SentMarkers returns the number of marker packets transmitted.
+func (st *Striper) SentMarkers() int64 { return st.sentMarkers }
+
+// SentOn returns the data packets and payload bytes sent on channel c,
+// for load-sharing observability.
+func (st *Striper) SentOn(c int) (packets, bytes int64) {
+	return st.sentPktsOn[c], st.sentOn[c]
+}
+
+// maybeEmitMarkers cuts a marker batch if one is due and the automaton
+// sits at a service boundary at (or past) the configured position.
+// Markers bypass the scheduler: they are control traffic, not charged to
+// any deficit counter, and the receiver likewise does not charge them.
+func (st *Striper) maybeEmitMarkers() {
+	if st.rb == nil || st.policy.Every == 0 || st.rb.MidService() {
+		return
+	}
+	r := st.rb.Round()
+	if r < st.nextMark {
+		return
+	}
+	// At the due round, wait for the pointer to rest on the configured
+	// position; if the round was overshot (the pointer skipped past the
+	// position, which can happen when a channel's overdraft forfeits its
+	// service), cut the batch at the first boundary available.
+	if r == st.nextMark && st.rb.Current() != st.policy.Position {
+		return
+	}
+	st.emitBatch()
+	st.nextMark = r + st.policy.Every
+}
+
+// EmitMarkers cuts a marker batch immediately, regardless of the
+// round-based policy. Kernel implementations send markers from a timer
+// so that a stalled sender (for example a window-limited TCP source)
+// still resynchronizes the receiver; drive this method from whatever
+// clock the embedding has. It is safe mid-service.
+func (st *Striper) EmitMarkers() {
+	if st.rb == nil {
+		return
+	}
+	st.emitBatch()
+	if st.policy.Every != 0 {
+		st.nextMark = st.rb.Round() + st.policy.Every
+	}
+}
+
+// emitBatch sends one marker per channel carrying the implicit number
+// (round, pre-quantum deficit) of the next packet on that channel. If
+// the current channel is mid-service its quantum has already been
+// granted, so the pre-quantum convention subtracts it back; the
+// receiver's marker handling applies the mirror-image adjustment.
+func (st *Striper) emitBatch() {
+	for c := range st.out {
+		d := st.rb.Deficit(c)
+		if st.rb.MidService() && st.rb.Current() == c {
+			d -= st.rb.QuantumOf(c)
+		}
+		mb := packet.MarkerBlock{
+			Channel: uint32(c),
+			Round:   st.rb.NextServiceRound(c),
+			Deficit: d,
+		}
+		if st.markerCredits != nil {
+			mb.Credits = st.markerCredits(c)
+		}
+		if err := st.out[c].Send(packet.NewMarker(mb)); err == nil {
+			st.sentMarkers++
+		}
+	}
+}
+
+// Send stripes one data packet. The packet is transmitted verbatim
+// unless AddSeq was configured. ErrGated means flow control vetoed the
+// transmission; retry the same packet later.
+func (st *Striper) Send(p *packet.Packet) error {
+	st.maybeEmitMarkers()
+	c := st.s.Select()
+	if st.gate != nil && !st.gate.Admit(c, p.Len()) {
+		return ErrGated
+	}
+	p.ID = st.nextID
+	p.Ingress = st.clock
+	if st.addSeq {
+		p.Seq = st.nextSeq
+		p.HasSeq = true
+	}
+	if err := st.out[c].Send(p); err != nil {
+		return err
+	}
+	st.nextID++
+	st.clock++
+	if st.addSeq {
+		st.nextSeq++
+	}
+	if st.gate != nil {
+		st.gate.Consume(c, p.Len())
+	}
+	st.sentData++
+	st.sentBytes += int64(p.Len())
+	st.sentOn[c] += int64(p.Len())
+	st.sentPktsOn[c]++
+	st.s.Account(p.Len())
+	st.maybeEmitMarkers()
+	return nil
+}
+
+// Reset broadcasts a reset packet on every channel and reinitialises the
+// striping automaton to its start state. Both ends return to the common
+// start state s0, which is how the paper handles node crashes and makes
+// the marker scheme self-stabilizing in conjunction with a snapshot.
+// The reset carries the new epoch number; the receiver discards traffic
+// from older epochs still in flight.
+func (st *Striper) Reset() error {
+	st.epoch++
+	pl := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		pl[i] = byte(st.epoch >> (8 * (7 - i)))
+	}
+	var firstErr error
+	for c := range st.out {
+		p := &packet.Packet{Kind: packet.Reset, Payload: append([]byte(nil), pl...)}
+		if err := st.out[c].Send(p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if st.rb != nil {
+		st.rb.Reset()
+	} else {
+		st.cs.Restore(st.csInit.Clone())
+	}
+	st.nextMark = st.policy.Every
+	return firstErr
+}
+
+// Epoch returns the current reset epoch.
+func (st *Striper) Epoch() uint64 { return st.epoch }

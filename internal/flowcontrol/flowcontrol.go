@@ -1,0 +1,118 @@
+// Package flowcontrol implements the credit-based, per-channel flow
+// control scheme the paper adopted for channels that provide none of
+// their own (Section 6.3), following Kung and Chapman's flow-controlled
+// virtual channels (FCVC): the receiver grants cumulative byte credits
+// per channel, and the sender never lets a channel's cumulative sent
+// bytes exceed its grant. With the grant set to delivered-bytes + W, at
+// most W bytes can ever occupy the channel plus the receive buffer, so
+// a receive buffer of W bytes cannot overflow — eliminating congestion
+// loss entirely.
+//
+// Credits travel on the reverse path as Credit packets, and the paper
+// notes they piggyback naturally on the periodic marker traffic; the
+// CreditManager emits one grant per channel on demand so the harness can
+// send them at marker cadence.
+package flowcontrol
+
+import (
+	"fmt"
+
+	"stripe/internal/packet"
+)
+
+// Gate is the sender-side credit table. It implements core.Gate. It is
+// a pure state machine; synchronise externally if shared.
+type Gate struct {
+	sent  []int64
+	grant []int64
+}
+
+// NewGate returns a gate for n channels with an initial window of w
+// bytes on each (the receiver's initial buffer grant).
+func NewGate(n int, w int64) (*Gate, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("flowcontrol: need positive channel count, got %d", n)
+	}
+	if w < 0 {
+		return nil, fmt.Errorf("flowcontrol: negative initial window %d", w)
+	}
+	g := &Gate{sent: make([]int64, n), grant: make([]int64, n)}
+	for i := range g.grant {
+		g.grant[i] = w
+	}
+	return g, nil
+}
+
+// Admit reports whether a packet of the given size fits channel c's
+// remaining credit.
+func (g *Gate) Admit(c int, size int) bool {
+	return g.sent[c]+int64(size) <= g.grant[c]
+}
+
+// Consume charges a transmitted packet against channel c's credit.
+func (g *Gate) Consume(c int, size int) { g.sent[c] += int64(size) }
+
+// ApplyGrant raises channel c's cumulative grant. Grants are monotone:
+// a stale (lower) grant is ignored, so credit packets may be lost,
+// reordered or duplicated without harm.
+func (g *Gate) ApplyGrant(c int, grant int64) {
+	if c < 0 || c >= len(g.grant) {
+		return
+	}
+	if grant > g.grant[c] {
+		g.grant[c] = grant
+	}
+}
+
+// ApplyCredit applies a credit packet to the table.
+func (g *Gate) ApplyCredit(p *packet.Packet) error {
+	cb, err := packet.CreditOf(p)
+	if err != nil {
+		return err
+	}
+	g.ApplyGrant(int(cb.Channel), int64(cb.Grant))
+	return nil
+}
+
+// Remaining returns channel c's unused credit in bytes.
+func (g *Gate) Remaining(c int) int64 { return g.grant[c] - g.sent[c] }
+
+// Manager is the receiver-side credit issuer.
+type Manager struct {
+	window    int64
+	delivered func(c int) int64
+	n         int
+}
+
+// NewManager returns a manager granting a window of w bytes per channel
+// above the cumulative delivered-byte count reported by the callback
+// (typically Resequencer.DeliveredBytesOn).
+func NewManager(n int, w int64, delivered func(c int) int64) (*Manager, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("flowcontrol: need positive channel count, got %d", n)
+	}
+	if w <= 0 {
+		return nil, fmt.Errorf("flowcontrol: window must be positive, got %d", w)
+	}
+	if delivered == nil {
+		return nil, fmt.Errorf("flowcontrol: nil delivered callback")
+	}
+	return &Manager{window: w, delivered: delivered, n: n}, nil
+}
+
+// GrantFor returns the current cumulative grant for channel c.
+func (m *Manager) GrantFor(c int) int64 { return m.delivered(c) + m.window }
+
+// CreditPackets builds one credit packet per channel carrying the
+// current grants, for transmission on the reverse path (at marker
+// cadence, as the paper suggests).
+func (m *Manager) CreditPackets() []*packet.Packet {
+	out := make([]*packet.Packet, m.n)
+	for c := 0; c < m.n; c++ {
+		out[c] = packet.NewCredit(packet.CreditBlock{
+			Channel: uint32(c),
+			Grant:   uint64(m.GrantFor(c)),
+		})
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package flowcontrol
+
+import (
+	"testing"
+
+	"stripe/internal/channel"
+	"stripe/internal/core"
+	"stripe/internal/packet"
+	"stripe/internal/sched"
+)
+
+func TestGateAdmitConsume(t *testing.T) {
+	g, err := NewGate(2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Admit(0, 1000) {
+		t.Fatal("initial window not granted")
+	}
+	if g.Admit(0, 1001) {
+		t.Fatal("over-window packet admitted")
+	}
+	g.Consume(0, 600)
+	if g.Remaining(0) != 400 {
+		t.Fatalf("remaining = %d, want 400", g.Remaining(0))
+	}
+	if g.Admit(0, 500) {
+		t.Fatal("admitted beyond remaining credit")
+	}
+	if !g.Admit(1, 1000) {
+		t.Fatal("channel 1's credit affected by channel 0")
+	}
+}
+
+func TestGateGrantMonotone(t *testing.T) {
+	g, _ := NewGate(1, 100)
+	g.ApplyGrant(0, 500)
+	if g.Remaining(0) != 500 {
+		t.Fatalf("remaining = %d", g.Remaining(0))
+	}
+	g.ApplyGrant(0, 300) // stale: ignored
+	if g.Remaining(0) != 500 {
+		t.Fatalf("stale grant lowered credit to %d", g.Remaining(0))
+	}
+	g.ApplyGrant(5, 999) // out of range: ignored
+}
+
+func TestGateApplyCredit(t *testing.T) {
+	g, _ := NewGate(2, 0)
+	p := packet.NewCredit(packet.CreditBlock{Channel: 1, Grant: 4096})
+	if err := g.ApplyCredit(p); err != nil {
+		t.Fatal(err)
+	}
+	if g.Remaining(1) != 4096 {
+		t.Fatalf("remaining = %d", g.Remaining(1))
+	}
+	if err := g.ApplyCredit(packet.NewDataSized(8)); err == nil {
+		t.Fatal("data packet accepted as credit")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewGate(0, 10); err == nil {
+		t.Error("zero channels accepted")
+	}
+	if _, err := NewGate(1, -1); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := NewManager(0, 10, func(int) int64 { return 0 }); err == nil {
+		t.Error("zero channels accepted")
+	}
+	if _, err := NewManager(1, 0, func(int) int64 { return 0 }); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewManager(1, 10, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+}
+
+func TestManagerGrants(t *testing.T) {
+	delivered := []int64{0, 0}
+	m, err := NewManager(2, 1000, func(c int) int64 { return delivered[c] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.GrantFor(0); got != 1000 {
+		t.Fatalf("initial grant = %d", got)
+	}
+	delivered[0] = 700
+	if got := m.GrantFor(0); got != 1700 {
+		t.Fatalf("grant = %d, want 1700", got)
+	}
+	pkts := m.CreditPackets()
+	if len(pkts) != 2 {
+		t.Fatalf("%d credit packets", len(pkts))
+	}
+	cb, err := packet.CreditOf(pkts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Channel != 0 || cb.Grant != 1700 {
+		t.Fatalf("credit = %+v", cb)
+	}
+}
+
+// TestCreditsBoundBufferOccupancy is the end-to-end invariant: with
+// grant = delivered + W, the receive buffer can never hold more than W
+// bytes per channel, so a W-byte buffer never overflows.
+func TestCreditsBoundBufferOccupancy(t *testing.T) {
+	const window = 4 * 1024
+	quanta := []int64{1500, 1500}
+	g := channel.NewGroup(2, channel.Impairments{})
+	gate, _ := NewGate(2, window)
+	st, err := core.NewStriper(core.StriperConfig{
+		Sched:    sched.MustSRR(quanta),
+		Channels: g.Senders(),
+		Gate:     gate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := core.NewResequencer(core.ResequencerConfig{
+		Sched: sched.MustSRR(quanta),
+		Mode:  core.ModeLogical,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, _ := NewManager(2, window, rs.DeliveredBytesOn)
+
+	// Drive a slow consumer: one delivery for every three send attempts.
+	sent, blocked := 0, 0
+	for i := 0; i < 3000; i++ {
+		p := packet.NewDataSized(1000)
+		switch err := st.Send(p); err {
+		case nil:
+			sent++
+		case core.ErrGated:
+			blocked++
+		default:
+			t.Fatal(err)
+		}
+		// Move arrivals to the receiver.
+		for c, q := range g.Queues {
+			if pkt, ok := q.Recv(); ok {
+				rs.Arrive(c, pkt)
+			}
+		}
+		// Slow consumption.
+		if i%3 == 0 {
+			rs.Next()
+		}
+		// The invariant: bytes arrived on c but not yet delivered never
+		// exceed the window.
+		for c := 0; c < 2; c++ {
+			occupancy := g.Queues[c].Stats().DeliveredBiB - rs.DeliveredBytesOn(c)
+			if occupancy > window {
+				t.Fatalf("channel %d buffer occupancy %d exceeds window %d", c, occupancy, window)
+			}
+		}
+		// Credits at marker cadence.
+		if i%10 == 0 {
+			for c := 0; c < 2; c++ {
+				gate.ApplyGrant(c, mgr.GrantFor(c))
+			}
+		}
+	}
+	if blocked == 0 {
+		t.Fatal("flow control never engaged despite a slow consumer")
+	}
+	if sent == 0 {
+		t.Fatal("nothing was sent")
+	}
+}

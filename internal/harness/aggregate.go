@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"stripe/internal/core"
+	"stripe/internal/sched"
+	"stripe/internal/sim"
+	"stripe/internal/stats"
+	"stripe/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "aggregate",
+		Title: "Ablation: aggregate TCP goodput vs number of striped links (the 'scalable' claim)",
+		Run:   runAggregate,
+	})
+}
+
+// runAggregate stripes a TCP transfer over 1..8 identical 10 Mb/s links
+// (think T1 bundles or the four STS-3c channels of the IBM SIA) and
+// reports goodput and efficiency. With a generous receiver the speedup
+// is near linear — the paper's "nearly linear speedup" claim — until
+// the per-interface interrupt load of many half-busy NICs catches up,
+// the same ceiling Figure 15 shows for two.
+func runAggregate(cfg Config) *Result {
+	d := 4 * sim.Second
+	counts := []int{1, 2, 3, 4, 6, 8}
+	if cfg.Quick {
+		d = 1500 * sim.Millisecond
+		counts = []int{1, 2, 4, 8}
+	}
+	const rate = 10e6
+
+	run := func(n int) float64 {
+		links := make([]sim.LinkConfig, n)
+		for i := range links {
+			links[i] = sim.LinkConfig{RateBps: rate, Delay: 500 * sim.Microsecond, Queue: 768, Seed: cfg.Seed + int64(i)}
+		}
+		pc := sim.PathConfig{
+			Links: links,
+			// A faster receiver than Figure 15's: the point here is link
+			// aggregation, not the CPU wall (which fig15 covers).
+			CPU: sim.CPUConfig{
+				PerInterrupt: 40 * sim.Microsecond,
+				PerPacket:    20 * sim.Microsecond,
+				PerByte:      10,
+				Ring:         128,
+				Coalesce:     sim.Millisecond,
+			},
+			TCP: sim.TCPConfig{Sizes: trace.NewBimodal(200, 1000, 0.5, cfg.Seed+41), RcvWnd: 262144},
+		}
+		if n > 1 {
+			pc.Sched = sched.MustSRR(sched.UniformQuanta(n, 1500))
+			pc.Mode = core.ModeLogical
+			pc.Markers = core.MarkerPolicy{Every: 2, Position: 0}
+			pc.MarkerInterval = 2 * sim.Millisecond
+		}
+		p, err := sim.BuildTCPPath(pc)
+		if err != nil {
+			panic(err)
+		}
+		return p.Run(d)
+	}
+
+	var b strings.Builder
+	fmt.Fprintln(&b, "# Aggregate goodput vs striped link count (10 Mb/s links, TCP, SRR+LR).")
+	fmt.Fprintln(&b, row("links", "goodput Mb/s", "capacity Mb/s", "efficiency"))
+	var x, gp, eff []float64
+	for _, n := range counts {
+		mbps := run(n)
+		capacity := float64(n) * rate / 1e6
+		fmt.Fprintln(&b, row(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f", mbps),
+			fmt.Sprintf("%.0f", capacity),
+			fmt.Sprintf("%.2f", mbps/capacity)))
+		x = append(x, float64(n))
+		gp = append(gp, mbps)
+		eff = append(eff, mbps/capacity)
+	}
+	tb := &stats.Table{Title: "Aggregate goodput vs link count", XLabel: "links", YLabel: "Mb/s", X: x}
+	tb.AddColumn("goodput", gp)
+	tb.AddColumn("efficiency", eff)
+	return &Result{ID: "aggregate", Title: "Link-count scaling", Text: b.String(), Tables: []*stats.Table{tb}}
+}

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"stripe/internal/core"
+	"stripe/internal/sched"
+	"stripe/internal/sim"
+	"stripe/internal/stats"
+	"stripe/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig15",
+		Title: "Figure 15: application throughput vs ATM PVC capacity (7 curves)",
+		Run:   runFig15,
+	})
+}
+
+// fig15CPU is the receiving-workstation model calibrated so the same
+// qualitative features as the paper's Pentium appear inside the sweep:
+// the per-interrupt cost amortizes over coalesced batches (cheap for
+// one busy interface, expensive for two half-busy ones), and total CPU
+// capacity saturates inside the measured range.
+var fig15CPU = sim.CPUConfig{
+	PerInterrupt: 120 * sim.Microsecond,
+	PerPacket:    150 * sim.Microsecond,
+	PerByte:      60, // ns per byte
+	Ring:         64,
+	Coalesce:     sim.Millisecond,
+}
+
+// fig15Ethernet is the Ethernet member's effective rate. The paper's 10
+// Mb/s Ethernet delivered about 6-7 Mb/s of application throughput;
+// modelling the effective rate directly keeps the round-robin ceiling
+// (2x the slower link) inside the figure, as in the paper.
+const fig15Ethernet = 7e6
+
+func fig15Sizes(seed int64) trace.SizeGen { return trace.NewBimodal(200, 1000, 0.5, seed) }
+
+// fig15Single measures one interface alone (for the upper-bound curve).
+func fig15Single(cfg Config, rate float64, d sim.Time) float64 {
+	p, err := sim.BuildTCPPath(sim.PathConfig{
+		Links: []sim.LinkConfig{{RateBps: rate, Delay: 500 * sim.Microsecond, Queue: 128, Seed: cfg.Seed}},
+		CPU:   fig15CPU,
+		TCP:   sim.TCPConfig{Sizes: fig15Sizes(cfg.Seed + 21)},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return p.Run(d)
+}
+
+// fig15Striped measures one striped configuration.
+func fig15Striped(cfg Config, atm float64, mk func(rates []float64) sched.RoundBased, mode core.Mode, d sim.Time) float64 {
+	rates := []float64{fig15Ethernet, atm}
+	links := make([]sim.LinkConfig, 2)
+	for i, r := range rates {
+		links[i] = sim.LinkConfig{RateBps: r, Delay: 500 * sim.Microsecond, Queue: 128, Seed: cfg.Seed + int64(i)}
+	}
+	p, err := sim.BuildTCPPath(sim.PathConfig{
+		Links:          links,
+		CPU:            fig15CPU,
+		Sched:          mk(rates),
+		Mode:           mode,
+		Markers:        core.MarkerPolicy{Every: 2, Position: 0},
+		MarkerInterval: 2 * sim.Millisecond,
+		TCP:            sim.TCPConfig{Sizes: fig15Sizes(cfg.Seed + 22)},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return p.Run(d)
+}
+
+func mkSRR(rates []float64) sched.RoundBased {
+	q, err := sched.QuantaForRates(rates, 1500)
+	if err != nil {
+		panic(err)
+	}
+	return sched.MustSRR(q)
+}
+
+func mkGRR(rates []float64) sched.RoundBased {
+	c, err := sched.CountsForRates(rates)
+	if err != nil {
+		panic(err)
+	}
+	s, err := sched.NewGRR(c)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mkRR(rates []float64) sched.RoundBased {
+	s, err := sched.NewRR(len(rates))
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// runFig15 sweeps the ATM PVC capacity and regenerates all seven
+// curves: the sum-of-interfaces upper bound and {SRR, GRR, RR} x
+// {logical reception, no resequencing}.
+func runFig15(cfg Config) *Result {
+	atms := []float64{3.8e6, 6.3e6, 8.8e6, 11.3e6, 13.8e6, 16.3e6, 18.8e6, 21.3e6, 23.8e6}
+	d := 4 * sim.Second
+	if cfg.Quick {
+		atms = []float64{3.8e6, 13.8e6, 23.8e6}
+		d = 1500 * sim.Millisecond
+	}
+
+	type curve struct {
+		label string
+		mk    func([]float64) sched.RoundBased
+		mode  core.Mode
+	}
+	curves := []curve{
+		{"SRR+LR", mkSRR, core.ModeLogical},
+		{"SRR", mkSRR, core.ModeNone},
+		{"GRR+LR", mkGRR, core.ModeLogical},
+		{"GRR", mkGRR, core.ModeNone},
+		{"RR+LR", mkRR, core.ModeLogical},
+		{"RR", mkRR, core.ModeNone},
+	}
+
+	// Ethernet alone is independent of the sweep; measure it once.
+	ethAlone := fig15Single(cfg, fig15Ethernet, d)
+
+	x := make([]float64, len(atms))
+	sum := make([]float64, len(atms))
+	series := make([][]float64, len(curves))
+	for i := range series {
+		series[i] = make([]float64, len(atms))
+	}
+	for ai, atm := range atms {
+		x[ai] = atm / 1e6
+		sum[ai] = ethAlone + fig15Single(cfg, atm, d)
+		for ci, c := range curves {
+			series[ci][ai] = fig15Striped(cfg, atm, c.mk, c.mode, d)
+		}
+	}
+
+	tb := &stats.Table{
+		Title:  "Figure 15: application-level throughput vs ATM PVC capacity",
+		XLabel: "ATM Mb/s",
+		YLabel: "goodput Mb/s",
+		X:      x,
+	}
+	tb.AddColumn("sum(Eth+ATM)", sum)
+	for ci, c := range curves {
+		tb.AddColumn(c.label, series[ci])
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Figure 15 reproduction. Ethernet effective %.1f Mb/s; ATM PVC swept.\n", fig15Ethernet/1e6)
+	fmt.Fprintln(&b, "# Expected shape: sum rises then saturates at the single-interface CPU")
+	fmt.Fprintln(&b, "# limit; SRR+LR tracks the sum then flattens earlier (interrupt load of")
+	fmt.Fprintln(&b, "# two interfaces); RR is capped near 2x the slower link; each no-reseq")
+	fmt.Fprintln(&b, "# variant sits below its logical-reception twin.")
+	b.WriteString(tb.String())
+	return &Result{ID: "fig15", Title: "Figure 15", Text: b.String(), Tables: []*stats.Table{tb}}
+}

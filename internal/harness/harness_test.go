@@ -1,0 +1,307 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 1} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"aggregate", "credit", "fig15", "loss", "markerfreq", "markerpos", "quantum", "scaling", "skew", "srrgrr", "table1", "video"}
+	all := All()
+	if len(all) != len(want) {
+		ids := make([]string, len(all))
+		for i, e := range all {
+			ids[i] = e.ID
+		}
+		t.Fatalf("registered %v, want %v", ids, want)
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("experiment %d = %q, want %q", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("fig15"); !ok {
+		t.Fatal("ByID failed")
+	}
+	if _, ok := ByID("nonsense"); ok {
+		t.Fatal("ByID found a ghost")
+	}
+}
+
+func colByLabel(t *testing.T, r *Result, table int, label string) []float64 {
+	t.Helper()
+	if table >= len(r.Tables) {
+		t.Fatalf("%s has %d tables", r.ID, len(r.Tables))
+	}
+	for _, c := range r.Tables[table].Columns {
+		if c.Label == label {
+			return c.Points
+		}
+	}
+	t.Fatalf("%s: no column %q", r.ID, label)
+	return nil
+}
+
+// TestLossSweepRecovers asserts the headline Section 6.3 finding: FIFO
+// delivery is restored after losses stop, for every loss rate up to 80%.
+func TestLossSweepRecovers(t *testing.T) {
+	r := runLossSweep(quickCfg())
+	rec := colByLabel(t, r, 0, "recovered")
+	for i, v := range rec {
+		if v != 1 {
+			t.Fatalf("loss point %d did not recover:\n%s", i, r.Text)
+		}
+	}
+	// Without loss delivery is perfectly FIFO; with loss, misordering
+	// appears during the lossy phase. (The *fraction* is not monotone in
+	// the loss rate: at extreme loss few packets survive to be late.)
+	ooo := colByLabel(t, r, 0, "ooo")
+	if ooo[0] != 0 {
+		t.Fatalf("lossless run had ooo fraction %v", ooo[0])
+	}
+	maxOOO := 0.0
+	for _, v := range ooo[1:] {
+		if v > maxOOO {
+			maxOOO = v
+		}
+	}
+	if maxOOO < 0.02 {
+		t.Fatalf("loss produced almost no misordering (max %.4f); scenario too gentle:\n%s", maxOOO, r.Text)
+	}
+}
+
+// TestMarkerFrequencyHelps asserts more frequent markers mean fewer
+// out-of-order deliveries (comparing the extremes, which tolerates
+// non-monotonic neighbours).
+func TestMarkerFrequencyHelps(t *testing.T) {
+	r := runMarkerFrequency(quickCfg())
+	ooo := colByLabel(t, r, 0, "ooo")
+	if len(ooo) < 4 {
+		t.Fatalf("too few points:\n%s", r.Text)
+	}
+	first, last := ooo[0], ooo[len(ooo)-1]
+	if first >= last {
+		t.Fatalf("markers every round (%v ooo) not better than every 64 rounds (%v ooo):\n%s", first, last, r.Text)
+	}
+}
+
+// TestMarkerPositionRuns sanity-checks the position sweep; the paper's
+// claim (round boundaries best) is recorded in EXPERIMENTS.md from the
+// full-scale run rather than asserted on the quick one.
+func TestMarkerPositionRuns(t *testing.T) {
+	r := runMarkerPosition(quickCfg())
+	ooo := colByLabel(t, r, 0, "ooo")
+	if len(ooo) != 8 {
+		t.Fatalf("expected 8 positions, got %d", len(ooo))
+	}
+	for i, v := range ooo {
+		if v < 0 {
+			t.Fatalf("position %d has negative ooo", i)
+		}
+	}
+}
+
+// TestCreditEliminatesOverflow asserts the flow-control claim exactly:
+// zero buffer drops with credits, real drops without.
+func TestCreditEliminatesOverflow(t *testing.T) {
+	r := runCredit(quickCfg())
+	drops := colByLabel(t, r, 0, "drops")
+	if drops[0] == 0 {
+		t.Fatalf("uncontrolled run lost nothing; the scenario is too gentle:\n%s", r.Text)
+	}
+	if drops[1] != 0 {
+		t.Fatalf("credits did not eliminate buffer drops (%v):\n%s", drops[1], r.Text)
+	}
+}
+
+// TestVideoShapes asserts the NV findings: perfect delivery without
+// loss, and a negligible reorder penalty at low loss rates (the paper's
+// "quasi-FIFO is adequate" argument).
+func TestVideoShapes(t *testing.T) {
+	r := runVideo(quickCfg())
+	quasi := colByLabel(t, r, 0, "quasi-FIFO")
+	pure := colByLabel(t, r, 0, "loss-only")
+	if quasi[0] < 0.999 {
+		t.Fatalf("lossless video not fully usable: %v", quasi[0])
+	}
+	// Up to 10% loss the reorder penalty stays small in absolute terms.
+	for i := 0; i < 3; i++ {
+		if d := pure[i] - quasi[i]; d > 0.08 {
+			t.Fatalf("reorder penalty %.3f at point %d too large:\n%s", d, i, r.Text)
+		}
+	}
+	// Loss, not reordering, dominates the damage at high rates.
+	last := len(quasi) - 1
+	if pure[last] > 0.8 {
+		t.Fatalf("loss-only usability %.3f at 60%% loss is implausibly high", pure[last])
+	}
+}
+
+// TestSRRBeatsGRROnAdversarialWorkload asserts the Section 6.2 result.
+func TestSRRBeatsGRROnAdversarialWorkload(t *testing.T) {
+	r := runSRRvsGRR(quickCfg())
+	goodput := colByLabel(t, r, 0, "goodput")
+	srr, grr := goodput[0], goodput[1]
+	if srr < grr*1.3 {
+		t.Fatalf("SRR %.2f Mb/s vs GRR %.2f Mb/s; expected a dramatic gap:\n%s", srr, grr, r.Text)
+	}
+}
+
+// TestFig15Shapes asserts the orderings the paper reports, on the quick
+// three-point sweep.
+func TestFig15Shapes(t *testing.T) {
+	r := runFig15(quickCfg())
+	sum := colByLabel(t, r, 0, "sum(Eth+ATM)")
+	srrLR := colByLabel(t, r, 0, "SRR+LR")
+	srrNR := colByLabel(t, r, 0, "SRR")
+	grrLR := colByLabel(t, r, 0, "GRR+LR")
+	grrNR := colByLabel(t, r, 0, "GRR")
+	rrLR := colByLabel(t, r, 0, "RR+LR")
+	rrNR := colByLabel(t, r, 0, "RR")
+
+	for i := range sum {
+		if srrLR[i] > sum[i]*1.05 {
+			t.Fatalf("point %d: SRR+LR %.2f above the upper bound %.2f", i, srrLR[i], sum[i])
+		}
+		if srrLR[i] < srrNR[i] {
+			t.Fatalf("point %d: no-reseq SRR beat logical reception", i)
+		}
+		if grrLR[i] < grrNR[i] {
+			t.Fatalf("point %d: no-reseq GRR beat logical reception", i)
+		}
+		if rrLR[i] < rrNR[i] {
+			t.Fatalf("point %d: no-reseq RR beat logical reception", i)
+		}
+		if srrLR[i] < grrLR[i]*0.95 {
+			t.Fatalf("point %d: SRR+LR %.2f below GRR+LR %.2f", i, srrLR[i], grrLR[i])
+		}
+	}
+	// Low-rate point: strIPe tracks the sum of the interfaces.
+	if srrLR[0] < sum[0]*0.9 {
+		t.Fatalf("SRR+LR %.2f does not track the sum %.2f at low ATM rate", srrLR[0], sum[0])
+	}
+	// High-rate point: RR stays pinned near 2x the slower link while
+	// SRR keeps the aggregate clearly higher.
+	last := len(sum) - 1
+	if srrLR[last] < rrLR[last]*1.15 {
+		t.Fatalf("SRR+LR %.2f not clearly above RR+LR %.2f at high ATM rate:\n%s",
+			srrLR[last], rrLR[last], r.Text)
+	}
+}
+
+// TestQuantumAblationWithinBound asserts the Theorem 3.2 bound holds
+// across the quantum sweep.
+func TestQuantumAblationWithinBound(t *testing.T) {
+	r := runQuantumAblation(quickCfg())
+	dev := colByLabel(t, r, 0, "worst deviation")
+	bound := colByLabel(t, r, 0, "bound")
+	for i := range dev {
+		if dev[i] > bound[i] {
+			t.Fatalf("point %d: deviation %v exceeds bound %v:\n%s", i, dev[i], bound[i], r.Text)
+		}
+	}
+}
+
+// TestChannelScalingFIFO asserts the protocol stays FIFO and live as
+// channel counts grow.
+func TestChannelScalingFIFO(t *testing.T) {
+	r := runChannelScaling(quickCfg())
+	if strings.Contains(r.Text, "false") {
+		t.Fatalf("a scaling configuration broke FIFO delivery:\n%s", r.Text)
+	}
+}
+
+// TestSkewToleranceShapes asserts the Section 4 claim: logical
+// reception is FIFO at any skew, its buffering grows with skew, and the
+// unresequenced baseline misorders more as skew grows.
+func TestSkewToleranceShapes(t *testing.T) {
+	r := runSkew(quickCfg())
+	lr := colByLabel(t, r, 0, "ooo LR")
+	nr := colByLabel(t, r, 0, "ooo none")
+	buf := colByLabel(t, r, 0, "max buffered LR")
+	for i, v := range lr {
+		if v != 0 {
+			t.Fatalf("logical reception misordered %v packets at skew point %d:\n%s", v, i, r.Text)
+		}
+	}
+	last := len(nr) - 1
+	if nr[last] <= nr[0] {
+		t.Fatalf("no-reseq misordering did not grow with skew:\n%s", r.Text)
+	}
+	if buf[last] <= buf[0] {
+		t.Fatalf("LR buffering did not grow with skew:\n%s", r.Text)
+	}
+}
+
+// TestAggregateNearLinear asserts the "nearly linear speedup" claim:
+// efficiency stays high at every striped width.
+func TestAggregateNearLinear(t *testing.T) {
+	r := runAggregate(quickCfg())
+	eff := colByLabel(t, r, 0, "efficiency")
+	for i, e := range eff {
+		if e < 0.8 {
+			t.Fatalf("efficiency %.2f at point %d:\n%s", e, i, r.Text)
+		}
+	}
+}
+
+// TestTable1Shapes checks the measured feature matrix against the
+// paper's qualitative table.
+func TestTable1Shapes(t *testing.T) {
+	r := runTable1(quickCfg())
+	lines := strings.Split(strings.TrimSpace(r.Text), "\n")
+	get := func(prefix string) []string {
+		for _, l := range lines {
+			if strings.HasPrefix(l, prefix) {
+				return strings.Fields(l[28:])
+			}
+		}
+		t.Fatalf("no row %q in:\n%s", prefix, r.Text)
+		return nil
+	}
+	parse := func(s string) float64 {
+		var f float64
+		if _, err := fmt.Sscan(s, &f); err != nil {
+			t.Fatalf("bad cell %q", s)
+		}
+		return f
+	}
+	rrNoHdr := get("RR, no header")
+	rrHdr := get("RR with header")
+	srrHdr := get("SRR with header")
+	srrNoHdr := get("SRR, no header (strIPe)")
+	bonding := get("BONDING")
+
+	// FIFO column (no loss): RR-no-header misorders under skew; every
+	// resequenced variant is clean.
+	if parse(rrNoHdr[0]) == 0 {
+		t.Errorf("RR without resequencing delivered FIFO under skew:\n%s", r.Text)
+	}
+	for _, row := range [][]string{rrHdr, srrHdr, srrNoHdr, bonding} {
+		if parse(row[0]) != 0 {
+			t.Errorf("resequenced scheme misordered without loss: %v\n%s", row, r.Text)
+		}
+	}
+	// With loss: the header variants stay FIFO; the no-header variant is
+	// quasi-FIFO (small but possibly nonzero).
+	if parse(rrHdr[1]) != 0 || parse(srrHdr[1]) != 0 {
+		t.Errorf("sequence-numbered variants misordered under loss:\n%s", r.Text)
+	}
+	// Under *continuous* loss quasi-FIFO misorders between a loss and
+	// the next marker batch, but stays far below unresequenced RR.
+	if q, rr := parse(srrNoHdr[1]), parse(rrNoHdr[1]); q > 0.2 || q > rr*0.5 {
+		t.Errorf("quasi-FIFO misorder fraction %.4f too high (RR: %.4f):\n%s", q, rr, r.Text)
+	}
+	// Load sharing: the byte-accounting schemes balance far better than
+	// packet-count round robin under the bimodal mix.
+	if parse(srrNoHdr[2]) >= parse(rrNoHdr[2]) {
+		t.Errorf("SRR imbalance %v not below RR imbalance %v:\n%s",
+			parse(srrNoHdr[2]), parse(rrNoHdr[2]), r.Text)
+	}
+}

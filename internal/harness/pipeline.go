@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"stripe/internal/baseline"
+	"stripe/internal/channel"
+	"stripe/internal/core"
+	"stripe/internal/packet"
+	"stripe/internal/sched"
+	"stripe/internal/trace"
+)
+
+// pipe is the synchronous test pipeline shared by the non-simulator
+// experiments: a striper (CFQ or baseline selector), a group of
+// impaired FIFO queues, a skewed arrival pump, and a resequencer.
+type pipe struct {
+	nch     int
+	group   *channel.Group
+	striper *core.Striper
+	sel     baseline.Selector
+	senders []channel.Sender
+	reseq   *core.Resequencer
+	skew    []int
+	nextID  uint64
+}
+
+type pipeConfig struct {
+	quanta  []int64
+	mode    core.Mode
+	addSeq  bool
+	markers core.MarkerPolicy
+	imp     channel.Impairments
+	// skew delays channel c's arrivals by skew[c] pump ticks,
+	// modelling differing channel latencies.
+	skew []int
+	// selector, when non-nil, replaces the CFQ striper with a baseline
+	// scheme (markers and sequence stamping still apply via addSeq).
+	selector baseline.Selector
+	// schedFor overrides the automaton (defaults to SRR over quanta).
+	schedFor func() sched.RoundBased
+}
+
+func newPipe(cfg pipeConfig) (*pipe, error) {
+	nch := len(cfg.quanta)
+	if cfg.selector != nil {
+		nch = cfg.selector.N()
+	}
+	p := &pipe{nch: nch, sel: cfg.selector}
+	p.group = channel.NewGroup(nch, cfg.imp)
+	p.senders = p.group.Senders()
+	p.skew = make([]int, nch)
+	copy(p.skew, cfg.skew)
+
+	mk := func() sched.RoundBased {
+		if cfg.schedFor != nil {
+			return cfg.schedFor()
+		}
+		return sched.MustSRR(cfg.quanta)
+	}
+
+	if cfg.selector == nil {
+		st, err := core.NewStriper(core.StriperConfig{
+			Sched:    mk(),
+			Channels: p.senders,
+			Markers:  cfg.markers,
+			AddSeq:   cfg.addSeq,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.striper = st
+	}
+
+	rcfg := core.ResequencerConfig{Mode: cfg.mode, N: nch}
+	if cfg.mode == core.ModeLogical {
+		rcfg.Sched = mk()
+	}
+	rs, err := core.NewResequencer(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	p.reseq = rs
+	return p, nil
+}
+
+// send stripes one packet of the given size.
+func (p *pipe) send(size int) error {
+	pkt := packet.NewDataSized(size)
+	if p.striper != nil {
+		return p.striper.Send(pkt)
+	}
+	pkt.ID = p.nextID
+	p.nextID++
+	return baseline.Stripe(p.sel, p.senders, pkt)
+}
+
+// pump runs the skewed arrival process to completion and returns the
+// delivered data packets in delivery order (including a final drain).
+func (p *pipe) pump() []*packet.Packet {
+	var out []*packet.Packet
+	tick := 0
+	for {
+		moved := false
+		for c, q := range p.group.Queues {
+			if tick < p.skew[c] {
+				if q.Len() > 0 {
+					moved = true // still waiting on skewed arrivals
+				}
+				continue
+			}
+			if pkt, ok := q.Recv(); ok {
+				p.reseq.Arrive(c, pkt)
+				moved = true
+			}
+		}
+		for {
+			pkt, ok := p.reseq.Next()
+			if !ok {
+				break
+			}
+			out = append(out, pkt)
+		}
+		if !moved {
+			break
+		}
+		tick++
+	}
+	return append(out, p.reseq.Drain()...)
+}
+
+// deliveredIDs extracts ingress IDs from a delivery sequence.
+func deliveredIDs(pkts []*packet.Packet) []uint64 {
+	ids := make([]uint64, len(pkts))
+	for i, p := range pkts {
+		ids[i] = p.ID
+	}
+	return ids
+}
+
+// channelBytes returns per-channel transmitted byte counts.
+func (p *pipe) channelBytes() []int64 {
+	out := make([]int64, p.nch)
+	for i, q := range p.group.Queues {
+		out[i] = q.Stats().SentBytes
+	}
+	return out
+}
+
+// sendAll pushes n packets drawn from sizes.
+func (p *pipe) sendAll(n int, sizes trace.SizeGen) error {
+	for i := 0; i < n; i++ {
+		if err := p.send(sizes.Next()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

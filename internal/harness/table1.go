@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"stripe/internal/baseline"
+	"stripe/internal/channel"
+	"stripe/internal/core"
+	"stripe/internal/packet"
+	"stripe/internal/sched"
+	"stripe/internal/stats"
+	"stripe/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table 1: features of channel striping solutions (measured)",
+		Run:   runTable1,
+	})
+}
+
+// runTable1 regenerates Table 1 empirically: each scheme stripes the
+// same bimodal workload over two equal channels with skewed arrivals
+// and a burst of loss, and we measure what the table asserts
+// qualitatively — FIFO behaviour (out-of-order delivery fraction with
+// and without loss) and load sharing with variable-length packets
+// (byte imbalance between the channels).
+func runTable1(cfg Config) *Result {
+	n := 20000
+	if cfg.Quick {
+		n = 4000
+	}
+	type outcome struct {
+		name        string
+		oooNoLoss   float64
+		oooLoss     float64
+		imbalance   int64
+		jain        float64
+		modifies    string
+		deliveredOK bool
+	}
+	var rows []outcome
+
+	// Common scenario pieces.
+	mkSizes := func() trace.SizeGen { return trace.NewBimodal(200, 1000, 0.5, cfg.Seed+1) }
+	skew := []int{0, 40} // channel 1 lags 40 ticks: persistent skew
+	lossImp := channel.Impairments{Loss: 0.05, Seed: cfg.Seed + 2}
+
+	runScheme := func(name, modifies string, mk func(imp channel.Impairments) (*pipe, error)) {
+		o := outcome{name: name, modifies: modifies}
+		// Pass 1: skew only, no loss — steady-state FIFO behaviour.
+		p, err := mk(channel.Impairments{})
+		if err != nil {
+			panic(err)
+		}
+		if err := p.sendAll(n, mkSizes()); err != nil {
+			panic(err)
+		}
+		got := p.pump()
+		r := stats.AnalyzeOrder(deliveredIDs(got))
+		o.oooNoLoss = r.OutOfOrderFraction()
+		bytes := p.channelBytes()
+		o.imbalance = stats.MaxImbalance(bytes)
+		o.jain = stats.JainIndex(bytes)
+		o.deliveredOK = len(got) == n
+
+		// Pass 2: skew plus 5% loss — quasi-FIFO behaviour under errors.
+		p, err = mk(lossImp)
+		if err != nil {
+			panic(err)
+		}
+		if err := p.sendAll(n, mkSizes()); err != nil {
+			panic(err)
+		}
+		r = stats.AnalyzeOrder(deliveredIDs(p.pump()))
+		o.oooLoss = r.OutOfOrderFraction()
+		rows = append(rows, o)
+	}
+
+	quanta := []int64{1500, 1500}
+	markers := core.MarkerPolicy{Every: 4, Position: 0}
+
+	// Row 1: round robin, no header, no resequencing.
+	runScheme("RR, no header", "none", func(imp channel.Impairments) (*pipe, error) {
+		return newPipe(pipeConfig{
+			quanta: quanta, mode: core.ModeNone, imp: imp, skew: skew,
+			schedFor: func() sched.RoundBased { s, _ := sched.NewRR(2); return s },
+		})
+	})
+	// Row 2: round robin with sequence headers.
+	runScheme("RR with header", "adds seq header", func(imp channel.Impairments) (*pipe, error) {
+		return newPipe(pipeConfig{
+			quanta: quanta, mode: core.ModeSequence, addSeq: true, imp: imp, skew: skew,
+			schedFor: func() sched.RoundBased { s, _ := sched.NewRR(2); return s },
+		})
+	})
+	// Row 4 (paper): fair queuing with header.
+	runScheme("SRR with header", "adds seq header", func(imp channel.Impairments) (*pipe, error) {
+		return newPipe(pipeConfig{
+			quanta: quanta, mode: core.ModeSequence, addSeq: true, imp: imp, skew: skew,
+		})
+	})
+	// Row 5 (paper): fair queuing, no header — the paper's scheme.
+	runScheme("SRR, no header (strIPe)", "none", func(imp channel.Impairments) (*pipe, error) {
+		return newPipe(pipeConfig{
+			quanta: quanta, mode: core.ModeLogical, markers: markers, imp: imp, skew: skew,
+		})
+	})
+	// Extra baselines surveyed in Section 2.1.
+	runScheme("Random Selection", "none", func(imp channel.Impairments) (*pipe, error) {
+		sel, err := baseline.NewRandomSelection(2, cfg.Seed+3)
+		if err != nil {
+			return nil, err
+		}
+		return newPipe(pipeConfig{quanta: quanta, mode: core.ModeNone, imp: imp, skew: skew, selector: sel})
+	})
+	runScheme("Shortest Queue First", "none", func(imp channel.Impairments) (*pipe, error) {
+		var g *channel.Group
+		sel, err := baseline.NewShortestQueue(2, func(c int) int {
+			if g == nil {
+				return 0
+			}
+			return int(g.Queues[c].Stats().SentBytes) - int(g.Queues[c].Stats().DeliveredBiB)
+		})
+		if err != nil {
+			return nil, err
+		}
+		p, err := newPipe(pipeConfig{quanta: quanta, mode: core.ModeNone, imp: imp, skew: skew, selector: sel})
+		if err != nil {
+			return nil, err
+		}
+		g = p.group
+		return p, nil
+	})
+
+	// Row 3 (paper): BONDING-style inverse mux, measured separately
+	// because it reformats the stream into frames.
+	bondOOO, bondImb, bondJain := runBonding(n/4, cfg)
+
+	var b strings.Builder
+	fmt.Fprintln(&b, "# Table 1 (measured): 2 equal channels, bimodal 200/1000B packets,")
+	fmt.Fprintln(&b, "# channel-1 skew, loss pass at 5%. ooo = out-of-order delivery fraction.")
+	fmt.Fprintln(&b, row("scheme", "ooo (no loss)", "ooo (5% loss)", "byte imbalance", "Jain", "pkt modification"))
+	for _, o := range rows {
+		fmt.Fprintln(&b, row(o.name,
+			fmt.Sprintf("%.4f", o.oooNoLoss),
+			fmt.Sprintf("%.4f", o.oooLoss),
+			fmt.Sprintf("%d", o.imbalance),
+			fmt.Sprintf("%.4f", o.jain),
+			o.modifies))
+	}
+	fmt.Fprintln(&b, row("BONDING (frame striping)",
+		fmt.Sprintf("%.4f", bondOOO), "n/a (reliable)",
+		fmt.Sprintf("%d", bondImb), fmt.Sprintf("%.4f", bondJain), "reframes all data"))
+
+	return &Result{ID: "table1", Title: "Table 1", Text: b.String()}
+}
+
+// runBonding measures the BONDING baseline: guaranteed FIFO and
+// near-perfect byte balance, at the cost of reformatting everything.
+func runBonding(n int, cfg Config) (ooo float64, imbalance int64, jain float64) {
+	g := channel.NewGroup(2, channel.Impairments{})
+	bs, err := baseline.NewBondingSender(g.Senders(), 256)
+	if err != nil {
+		panic(err)
+	}
+	br, err := baseline.NewBondingReceiver(2, 256)
+	if err != nil {
+		panic(err)
+	}
+	sizes := trace.NewBimodal(200, 1000, 0.5, cfg.Seed+4)
+	var want [][]byte
+	for i := 0; i < n; i++ {
+		pl := make([]byte, sizes.Next())
+		pl[0] = byte(i)
+		pl[1] = byte(i >> 8)
+		pl[2] = byte(i >> 16)
+		want = append(want, pl)
+		if err := bs.Send(packet.NewData(pl)); err != nil {
+			panic(err)
+		}
+	}
+	if err := bs.Flush(); err != nil {
+		panic(err)
+	}
+	// Skewed delivery: channel 1 drained entirely after channel 0.
+	var ids []uint64
+	for _, c := range []int{1, 0} {
+		for {
+			p, ok := g.Queues[c].Recv()
+			if !ok {
+				break
+			}
+			br.Arrive(c, p)
+			for {
+				out, ok := br.Next()
+				if !ok {
+					break
+				}
+				id := uint64(out.Payload[0]) | uint64(out.Payload[1])<<8 | uint64(out.Payload[2])<<16
+				ids = append(ids, id)
+			}
+		}
+	}
+	r := stats.AnalyzeOrder(ids)
+	bytes := []int64{g.Queues[0].Stats().SentBytes, g.Queues[1].Stats().SentBytes}
+	return r.OutOfOrderFraction(), stats.MaxImbalance(bytes), stats.JainIndex(bytes)
+}

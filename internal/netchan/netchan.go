@@ -1,0 +1,273 @@
+// Package netchan carries striped channels over real sockets, the way
+// the paper's Section 6.3 experiments striped packets across multiple
+// application sockets. A TCP connection is a FIFO channel with flow
+// control; a UDP socket pair is a channel with neither reliability nor
+// flow control (the configuration the credit-based scheme was added
+// for).
+//
+// The framing plays the role of the data link header: a one-byte
+// codepoint distinguishes marker/credit/reset control packets from data
+// (the paper's requirement that the lower layer provide demultiplexing
+// for markers), a flag byte and optional sequence number support the
+// "with header" protocol variants, and the data payload is carried
+// verbatim.
+package netchan
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"stripe/internal/packet"
+)
+
+// MaxFrame is the largest accepted frame payload; larger frames are
+// rejected as corrupt rather than allocated.
+const MaxFrame = 1 << 24
+
+// Frame header layout:
+//
+//	0    1  codepoint (packet.Kind)
+//	1    1  flags (bit 0: sequence number present)
+//	2    8  sequence number (present only when flagged)
+//	...     payload
+const (
+	flagSeq  = 0x01
+	hdrBase  = 2
+	hdrSeq   = 8
+	recordLn = 4 // TCP length prefix
+)
+
+// ErrFrameTooShort is returned when a frame cannot hold its own header.
+var ErrFrameTooShort = errors.New("netchan: frame too short")
+
+// ErrFrameTooBig is returned when a record length exceeds MaxFrame.
+var ErrFrameTooBig = errors.New("netchan: frame exceeds MaxFrame")
+
+// ErrBadCodepoint is returned for an unknown packet kind.
+var ErrBadCodepoint = errors.New("netchan: unknown frame codepoint")
+
+// ErrBadFlags is returned when reserved flag bits are set.
+var ErrBadFlags = errors.New("netchan: reserved flag bits set")
+
+// EncodeFrame serialises p into the channel framing, appending to dst.
+func EncodeFrame(dst []byte, p *packet.Packet) []byte {
+	var flags byte
+	if p.HasSeq {
+		flags |= flagSeq
+	}
+	dst = append(dst, byte(p.Kind), flags)
+	if p.HasSeq {
+		var seq [8]byte
+		binary.BigEndian.PutUint64(seq[:], p.Seq)
+		dst = append(dst, seq[:]...)
+	}
+	return append(dst, p.Payload...)
+}
+
+// DecodeFrame parses a frame back into a packet. The payload slice is
+// copied so the caller may reuse the buffer.
+func DecodeFrame(b []byte) (*packet.Packet, error) {
+	if len(b) < hdrBase {
+		return nil, ErrFrameTooShort
+	}
+	if b[0] > byte(packet.Reset) {
+		return nil, ErrBadCodepoint
+	}
+	p := &packet.Packet{Kind: packet.Kind(b[0])}
+	flags := b[1]
+	if flags&^flagSeq != 0 {
+		return nil, ErrBadFlags
+	}
+	b = b[hdrBase:]
+	if flags&flagSeq != 0 {
+		if len(b) < hdrSeq {
+			return nil, ErrFrameTooShort
+		}
+		p.Seq = binary.BigEndian.Uint64(b[:hdrSeq])
+		p.HasSeq = true
+		b = b[hdrSeq:]
+	}
+	p.Payload = append([]byte(nil), b...)
+	return p, nil
+}
+
+// UDPChannel is one striped channel over a pair of connected UDP
+// sockets. The send side implements channel.Sender; the receive side
+// blocks in ReadPacket. Loopback UDP is FIFO in practice; occasional
+// deviations fall under the paper's burst-error model and are exactly
+// what the marker protocol recovers from.
+type UDPChannel struct {
+	conn *net.UDPConn
+	buf  []byte
+}
+
+// UDPPair creates a connected loopback socket pair and returns the two
+// channel ends.
+func UDPPair() (send *UDPChannel, recv *UDPChannel, err error) {
+	b, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, nil, err
+	}
+	// A connected sender socket needs no per-write address and lets the
+	// kernel filter stray datagrams.
+	ac, err := net.DialUDP("udp", nil, b.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		b.Close()
+		return nil, nil, err
+	}
+	return &UDPChannel{conn: ac, buf: make([]byte, 64*1024)},
+		&UDPChannel{conn: b, buf: make([]byte, 64*1024)}, nil
+}
+
+// Send implements channel.Sender: one frame per datagram.
+func (u *UDPChannel) Send(p *packet.Packet) error {
+	frame := EncodeFrame(u.buf[:0], p)
+	_, err := u.conn.Write(frame)
+	return err
+}
+
+// ReadPacket blocks for up to timeout (zero means forever) and returns
+// the next packet. A timeout returns (nil, nil) so pollers can
+// distinguish idleness from failure.
+func (u *UDPChannel) ReadPacket(timeout time.Duration) (*packet.Packet, error) {
+	if timeout > 0 {
+		if err := u.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := u.conn.SetReadDeadline(time.Time{}); err != nil {
+			return nil, err
+		}
+	}
+	n, _, err := u.conn.ReadFromUDP(u.buf)
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return DecodeFrame(u.buf[:n])
+}
+
+// Close releases the socket.
+func (u *UDPChannel) Close() error { return u.conn.Close() }
+
+// LocalAddr exposes the bound address (tests and demos print it).
+func (u *UDPChannel) LocalAddr() net.Addr { return u.conn.LocalAddr() }
+
+// TCPChannel is one striped channel over a TCP connection with
+// length-prefixed records. TCP supplies FIFO order, reliability and
+// flow control; it models the paper's "channel as a transport
+// connection" case (striping across multiple intelligent adaptors).
+type TCPChannel struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+	wbuf []byte
+}
+
+// NewTCPChannel wraps an established connection.
+func NewTCPChannel(conn net.Conn) *TCPChannel {
+	return &TCPChannel{
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, 64*1024),
+		br:   bufio.NewReaderSize(conn, 64*1024),
+	}
+}
+
+// TCPPair returns both ends of a loopback TCP connection.
+func TCPPair() (*TCPChannel, *TCPChannel, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ln.Close()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	dial, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return nil, nil, err
+	}
+	acc := <-ch
+	if acc.err != nil {
+		dial.Close()
+		return nil, nil, acc.err
+	}
+	return NewTCPChannel(dial), NewTCPChannel(acc.c), nil
+}
+
+// Send implements channel.Sender: the frame is written as one record
+// and flushed, preserving packet boundaries over the byte stream.
+func (t *TCPChannel) Send(p *packet.Packet) error {
+	t.wbuf = EncodeFrame(t.wbuf[:0], p)
+	if len(t.wbuf) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	var ln [recordLn]byte
+	binary.BigEndian.PutUint32(ln[:], uint32(len(t.wbuf)))
+	if _, err := t.bw.Write(ln[:]); err != nil {
+		return err
+	}
+	if _, err := t.bw.Write(t.wbuf); err != nil {
+		return err
+	}
+	return t.bw.Flush()
+}
+
+// ReadPacket blocks for up to timeout (zero means forever) and returns
+// the next packet; a timeout returns (nil, nil).
+func (t *TCPChannel) ReadPacket(timeout time.Duration) (*packet.Packet, error) {
+	if timeout > 0 {
+		if err := t.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := t.conn.SetReadDeadline(time.Time{}); err != nil {
+			return nil, err
+		}
+	}
+	var ln [recordLn]byte
+	if _, err := readFull(t.br, ln[:]); err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return nil, nil
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(ln[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooBig
+	}
+	body := make([]byte, n)
+	if _, err := readFull(t.br, body); err != nil {
+		return nil, fmt.Errorf("netchan: truncated record: %w", err)
+	}
+	return DecodeFrame(body)
+}
+
+// Close releases the connection.
+func (t *TCPChannel) Close() error { return t.conn.Close() }
+
+func readFull(r *bufio.Reader, b []byte) (int, error) {
+	n := 0
+	for n < len(b) {
+		m, err := r.Read(b[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,266 @@
+package netchan
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"stripe/internal/packet"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	check := func(kind uint8, seq uint64, hasSeq bool, payload []byte) bool {
+		p := &packet.Packet{Kind: packet.Kind(kind % 4), Payload: payload}
+		if hasSeq {
+			p.Seq, p.HasSeq = seq, true
+		}
+		got, err := DecodeFrame(EncodeFrame(nil, p))
+		if err != nil {
+			return false
+		}
+		return got.Kind == p.Kind &&
+			got.HasSeq == p.HasSeq &&
+			(!p.HasSeq || got.Seq == p.Seq) &&
+			bytes.Equal(got.Payload, p.Payload)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameInstrumentationNotTransmitted(t *testing.T) {
+	p := packet.NewDataSized(10)
+	p.ID = 42
+	p.Ingress = 7
+	got, err := DecodeFrame(EncodeFrame(nil, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 0 || got.Ingress != 0 {
+		t.Fatalf("instrumentation metadata leaked onto the wire: %+v", got)
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	if _, err := DecodeFrame(nil); err != ErrFrameTooShort {
+		t.Errorf("nil frame: %v", err)
+	}
+	if _, err := DecodeFrame([]byte{0}); err != ErrFrameTooShort {
+		t.Errorf("1-byte frame: %v", err)
+	}
+	// Sequence flag set but no sequence bytes.
+	if _, err := DecodeFrame([]byte{0, flagSeq, 1, 2}); err != ErrFrameTooShort {
+		t.Errorf("truncated seq: %v", err)
+	}
+}
+
+func TestUDPChannelRoundTrip(t *testing.T) {
+	send, recv, err := UDPPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+	defer recv.Close()
+
+	want := [][]byte{[]byte("alpha"), []byte("beta"), make([]byte, 1400)}
+	for _, pl := range want {
+		if err := send.Send(packet.NewData(pl)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, pl := range want {
+		p, err := recv.ReadPacket(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == nil {
+			t.Fatalf("packet %d timed out", i)
+		}
+		if !bytes.Equal(p.Payload, pl) {
+			t.Fatalf("packet %d payload mismatch", i)
+		}
+	}
+}
+
+func TestUDPChannelMarker(t *testing.T) {
+	send, recv, err := UDPPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+	defer recv.Close()
+
+	m := packet.MarkerBlock{Channel: 3, Round: 17, Deficit: -42}
+	if err := send.Send(packet.NewMarker(m)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := recv.ReadPacket(2 * time.Second)
+	if err != nil || p == nil {
+		t.Fatalf("recv: %v %v", p, err)
+	}
+	if p.Kind != packet.Marker {
+		t.Fatalf("kind = %v", p.Kind)
+	}
+	got, err := packet.MarkerOf(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("marker = %+v, want %+v", got, m)
+	}
+}
+
+func TestUDPReadTimeout(t *testing.T) {
+	send, recv, err := UDPPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+	defer recv.Close()
+	p, err := recv.ReadPacket(30 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != nil {
+		t.Fatalf("unexpected packet %v", p)
+	}
+}
+
+func TestTCPChannelFIFOBulk(t *testing.T) {
+	send, recv, err := TCPPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+	defer recv.Close()
+
+	const n = 500
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			p := packet.NewDataSized(100 + i%1300)
+			p.Seq, p.HasSeq = uint64(i), true
+			if err := send.Send(p); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < n; i++ {
+		p, err := recv.ReadPacket(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == nil {
+			t.Fatalf("packet %d timed out", i)
+		}
+		if !p.HasSeq || p.Seq != uint64(i) {
+			t.Fatalf("packet %d has seq %d (FIFO violated?)", i, p.Seq)
+		}
+		if p.Len() != 100+i%1300 {
+			t.Fatalf("packet %d length %d", i, p.Len())
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPReadTimeout(t *testing.T) {
+	send, recv, err := TCPPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+	defer recv.Close()
+	p, err := recv.ReadPacket(30 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != nil {
+		t.Fatalf("unexpected packet %v", p)
+	}
+}
+
+func TestTCPOversizeRejected(t *testing.T) {
+	send, recv, err := TCPPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+	defer recv.Close()
+	p := packet.NewDataSized(MaxFrame + 1)
+	if err := send.Send(p); err != ErrFrameTooBig {
+		t.Fatalf("Send = %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestDecodeFrameStrictness(t *testing.T) {
+	// Unknown codepoints and reserved flag bits are rejected, keeping
+	// decode/encode canonical (pinned by the fuzzers).
+	if _, err := DecodeFrame([]byte{9, 0, 1, 2}); err != ErrBadCodepoint {
+		t.Errorf("bad codepoint: %v", err)
+	}
+	if _, err := DecodeFrame([]byte{0, 0x30, 1, 2}); err != ErrBadFlags {
+		t.Errorf("reserved flags: %v", err)
+	}
+}
+
+func TestUDPSendAfterCloseFails(t *testing.T) {
+	send, recv, err := UDPPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv.Close()
+	send.Close()
+	if err := send.Send(packet.NewDataSized(10)); err == nil {
+		t.Fatal("send on closed socket succeeded")
+	}
+	if _, err := recv.ReadPacket(10 * time.Millisecond); err == nil {
+		t.Fatal("read on closed socket succeeded")
+	}
+}
+
+func TestUDPLocalAddr(t *testing.T) {
+	send, recv, err := UDPPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+	defer recv.Close()
+	if send.LocalAddr() == nil || recv.LocalAddr() == nil {
+		t.Fatal("nil local address")
+	}
+}
+
+func TestTCPTruncatedRecord(t *testing.T) {
+	send, recv, err := TCPPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	// Write a length prefix promising 100 bytes, deliver 3, then close.
+	raw := send.conn
+	raw.Write([]byte{0, 0, 0, 100, 1, 2, 3})
+	raw.Close()
+	if _, err := recv.ReadPacket(2 * time.Second); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestTCPOversizeRecordRejectedOnRead(t *testing.T) {
+	send, recv, err := TCPPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	defer send.Close()
+	// A length prefix beyond MaxFrame must be rejected before any
+	// allocation.
+	send.conn.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := recv.ReadPacket(2 * time.Second); err != ErrFrameTooBig {
+		t.Fatalf("oversize read: %v", err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package packet defines the atomic units of exchange carried over the
+// striped channels: opaque data packets, marker packets used by the
+// synchronization-recovery protocol of Section 5 of the paper, and credit
+// packets used by the optional credit-based flow-control scheme of
+// Section 6.3.
+//
+// A central requirement of the paper is that data packets are never
+// modified: no header is prepended and no trailer is appended. The only
+// thing the channel substrate must provide is a distinct codepoint (for
+// example a different Ethernet type field, or an OAM cell on an ATM VC)
+// so that the receiver can tell markers apart from data. This package
+// therefore separates the on-the-wire representation of control packets
+// (markers and credits, which we define and encode) from data packets
+// (which are carried verbatim).
+//
+// Packets also carry instrumentation metadata (a monotone ingress ID and
+// an ingress timestamp). That metadata is NOT part of any wire format; it
+// exists so that experiments can measure reordering and latency without
+// perturbing the protocol under test, exactly as a packet trace taken
+// outside the system would.
+package packet
+
+import "fmt"
+
+// Kind discriminates the classes of packets a channel can carry. It is
+// conveyed by the channel's codepoint mechanism, not by bytes inside the
+// data packet.
+type Kind uint8
+
+const (
+	// Data is an ordinary, unmodified data packet.
+	Data Kind = iota
+	// Marker is a synchronization marker (Section 5). Markers carry the
+	// sender's per-channel state (round number and deficit counter) for
+	// the next packet to be sent on the channel.
+	Marker
+	// Credit is a flow-control credit grant flowing from receiver to
+	// sender (Section 6.3, after Kung's FCVC scheme).
+	Credit
+	// Reset requests a full reinitialization of striping state on both
+	// ends. The paper uses a reset to recover from node crashes and to
+	// make the marker algorithm self-stabilizing.
+	Reset
+)
+
+// String returns the conventional name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Marker:
+		return "marker"
+	case Credit:
+		return "credit"
+	case Reset:
+		return "reset"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Packet is one atomic unit of exchange between the sender and the
+// receiver of a striped channel group.
+//
+// For Kind == Data, Payload is the application's packet, carried
+// verbatim. For control kinds, Payload is the encoded control block
+// (see MarkerBlock and CreditBlock).
+type Packet struct {
+	Kind    Kind
+	Payload []byte
+
+	// Seq is an optional sequence number used only by the "with header"
+	// protocol variants (Table 1 rows "Round-Robin with header" and
+	// "Fair Queuing algorithm with header"). HasSeq reports whether it
+	// is meaningful. In the no-header variants both fields are zero and
+	// nothing corresponding to them is transmitted.
+	Seq    uint64
+	HasSeq bool
+
+	// ID is an instrumentation-only monotone identifier stamped at the
+	// striper's ingress, used by experiments to detect reordering. It is
+	// never transmitted.
+	ID uint64
+
+	// Ingress is an instrumentation-only logical timestamp (units are
+	// experiment-defined: event ticks for the simulator, packet counts
+	// for synchronous harnesses). It is never transmitted.
+	Ingress int64
+}
+
+// Len returns the number of payload bytes, the quantity charged against
+// deficit counters by byte-based schedulers.
+func (p *Packet) Len() int { return len(p.Payload) }
+
+// WireLen returns the number of bytes the packet occupies on a channel:
+// the payload plus the channel framing overhead for the given per-packet
+// overhead. Data packets are carried verbatim, so their wire length is
+// payload + framing only.
+func (p *Packet) WireLen(framing int) int { return len(p.Payload) + framing }
+
+// Clone returns a deep copy of the packet. Channels that model
+// corruption mutate payload bytes, so impairment models clone first.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Payload != nil {
+		q.Payload = make([]byte, len(p.Payload))
+		copy(q.Payload, p.Payload)
+	}
+	return &q
+}
+
+// NewData builds a data packet around payload without copying it.
+func NewData(payload []byte) *Packet {
+	return &Packet{Kind: Data, Payload: payload}
+}
+
+// NewDataSized builds a data packet with a zero-filled payload of n
+// bytes. Workload generators use it to synthesize traffic of a given
+// size distribution.
+func NewDataSized(n int) *Packet {
+	return &Packet{Kind: Data, Payload: make([]byte, n)}
+}
+
+// String renders a short human-readable description.
+func (p *Packet) String() string {
+	if p.HasSeq {
+		return fmt.Sprintf("%s[id=%d seq=%d len=%d]", p.Kind, p.ID, p.Seq, len(p.Payload))
+	}
+	return fmt.Sprintf("%s[id=%d len=%d]", p.Kind, p.ID, len(p.Payload))
+}

@@ -1,0 +1,189 @@
+package packet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Data: "data", Marker: "marker", Credit: "credit", Reset: "reset", Kind(9): "kind(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestNewDataDoesNotCopy(t *testing.T) {
+	b := []byte{1, 2, 3}
+	p := NewData(b)
+	b[0] = 9
+	if p.Payload[0] != 9 {
+		t.Fatal("NewData copied the payload")
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := NewData([]byte{1, 2, 3})
+	p.ID = 7
+	q := p.Clone()
+	q.Payload[0] = 99
+	if p.Payload[0] != 1 {
+		t.Fatal("Clone shares payload storage")
+	}
+	if q.ID != 7 {
+		t.Fatal("Clone dropped metadata")
+	}
+}
+
+func TestWireLen(t *testing.T) {
+	p := NewDataSized(100)
+	if got := p.WireLen(8); got != 108 {
+		t.Fatalf("WireLen = %d, want 108", got)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	p := NewDataSized(10)
+	p.ID = 3
+	if s := p.String(); !strings.Contains(s, "id=3") || !strings.Contains(s, "len=10") {
+		t.Fatalf("String() = %q", s)
+	}
+	p.Seq, p.HasSeq = 42, true
+	if s := p.String(); !strings.Contains(s, "seq=42") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestMarkerRoundTrip(t *testing.T) {
+	check := func(ch uint32, round uint64, deficit int64, credits uint64, rng uint64) bool {
+		m := MarkerBlock{Channel: ch, Round: round, Deficit: deficit, Credits: credits, RNG: rng}
+		p := NewMarker(m)
+		if p.Kind != Marker || len(p.Payload) != MarkerWireLen {
+			return false
+		}
+		got, err := MarkerOf(p)
+		return err == nil && got == m
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkerNegativeDeficit(t *testing.T) {
+	m := MarkerBlock{Channel: 1, Round: 5, Deficit: -12345}
+	got, err := DecodeMarker(m.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Deficit != -12345 {
+		t.Fatalf("Deficit = %d, want -12345", got.Deficit)
+	}
+}
+
+func TestMarkerDecodeErrors(t *testing.T) {
+	m := MarkerBlock{Channel: 2, Round: 9, Deficit: 100}
+	enc := m.Encode(nil)
+
+	if _, err := DecodeMarker(enc[:10]); err != ErrBadLength {
+		t.Errorf("truncated: err = %v, want ErrBadLength", err)
+	}
+
+	bad := append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, err := DecodeMarker(bad); err != ErrBadMagic {
+		t.Errorf("bad magic: err = %v, want ErrBadMagic", err)
+	}
+
+	bad = append([]byte(nil), enc...)
+	bad[12] ^= 0xff // corrupt the round field
+	if _, err := DecodeMarker(bad); err != ErrChecksum {
+		t.Errorf("corrupt body: err = %v, want ErrChecksum", err)
+	}
+
+	bad = append([]byte(nil), enc...)
+	bad[MarkerWireLen-1] ^= 0x01 // corrupt the checksum itself
+	if _, err := DecodeMarker(bad); err != ErrChecksum {
+		t.Errorf("corrupt crc: err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestMarkerEncodeAppends(t *testing.T) {
+	prefix := []byte("hdr")
+	m := MarkerBlock{Channel: 3}
+	out := m.Encode(prefix)
+	if !bytes.HasPrefix(out, []byte("hdr")) {
+		t.Fatal("Encode overwrote the prefix")
+	}
+	if _, err := DecodeMarker(out[3:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkerOfWrongKind(t *testing.T) {
+	if _, err := MarkerOf(NewDataSized(40)); err == nil {
+		t.Fatal("MarkerOf accepted a data packet")
+	}
+}
+
+func TestCreditRoundTrip(t *testing.T) {
+	check := func(ch uint32, grant uint64) bool {
+		c := CreditBlock{Channel: ch, Grant: grant}
+		p := NewCredit(c)
+		if p.Kind != Credit || len(p.Payload) != CreditWireLen {
+			return false
+		}
+		got, err := CreditOf(p)
+		return err == nil && got == c
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreditDecodeErrors(t *testing.T) {
+	c := CreditBlock{Channel: 1, Grant: 4096}
+	enc := c.Encode(nil)
+	if _, err := DecodeCredit(enc[:4]); err != ErrBadLength {
+		t.Errorf("truncated: err = %v", err)
+	}
+	bad := append([]byte(nil), enc...)
+	bad[1] = '?'
+	if _, err := DecodeCredit(bad); err != ErrBadMagic {
+		t.Errorf("bad magic: err = %v", err)
+	}
+	bad = append([]byte(nil), enc...)
+	bad[9] ^= 0x80
+	if _, err := DecodeCredit(bad); err != ErrChecksum {
+		t.Errorf("corrupt: err = %v", err)
+	}
+	if _, err := CreditOf(NewDataSized(4)); err == nil {
+		t.Error("CreditOf accepted a data packet")
+	}
+}
+
+func BenchmarkMarkerEncode(b *testing.B) {
+	m := MarkerBlock{Channel: 1, Round: 1 << 40, Deficit: -500}
+	buf := make([]byte, 0, MarkerWireLen)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = m.Encode(buf[:0])
+	}
+}
+
+func BenchmarkMarkerDecode(b *testing.B) {
+	m := MarkerBlock{Channel: 1, Round: 1 << 40, Deficit: -500}
+	enc := m.Encode(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMarker(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

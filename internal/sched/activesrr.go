@@ -1,0 +1,125 @@
+package sched
+
+import "stripe/internal/packet"
+
+// ActiveSRR is the practical, non-backlogged form of the SRR fair
+// queuer attributed to Jacobson and Floyd [Flo93]: queues with traffic
+// sit in an active list (empty queues are skipped, like DRR), but the
+// service discipline is SRR's — a queue transmits while its deficit
+// counter is positive, may overdraw on its last packet, and carries the
+// overdraft as a debt into its next service.
+//
+// Like DRR, the active list makes ActiveSRR NON-causal: decisions
+// depend on which queues currently hold packets, not only on the
+// transmitted history. It therefore serves the forward (fair-queuing)
+// direction only and cannot drive logical reception — use the
+// backlogged SRR automaton for that. Its inclusion completes the
+// paper's Section 3 taxonomy with the practical FQ engine the SRR
+// striper is derived from.
+type ActiveSRR struct {
+	quantum []int64
+	deficit []int64
+	queues  []fifo
+	active  []int
+	inList  []bool
+	// turnBegan records whether the queue at the head of the active
+	// list has received its quantum for the current service turn.
+	turnBegan bool
+
+	// KeepDebtWhenIdle controls what happens to a negative deficit when
+	// a queue empties: true (default via NewActiveSRR) carries the debt
+	// so a queue cannot escape its overdraft by going idle; false
+	// forgives it, as DRR does.
+	KeepDebtWhenIdle bool
+}
+
+// NewActiveSRR returns a practical SRR fair queuer with the given
+// per-queue quanta and debt carried across idle periods.
+func NewActiveSRR(quanta []int64) (*ActiveSRR, error) {
+	if err := validateQuanta(quanta); err != nil {
+		return nil, err
+	}
+	n := len(quanta)
+	return &ActiveSRR{
+		quantum:          append([]int64(nil), quanta...),
+		deficit:          make([]int64, n),
+		queues:           make([]fifo, n),
+		inList:           make([]bool, n),
+		KeepDebtWhenIdle: true,
+	}, nil
+}
+
+// N returns the number of input queues.
+func (a *ActiveSRR) N() int { return len(a.quantum) }
+
+// Len returns the occupancy of queue q.
+func (a *ActiveSRR) Len(q int) int { return a.queues[q].len() }
+
+// Deficit returns queue q's deficit counter.
+func (a *ActiveSRR) Deficit(q int) int64 { return a.deficit[q] }
+
+// Enqueue appends p to queue q, activating the queue if necessary.
+func (a *ActiveSRR) Enqueue(q int, p *packet.Packet) {
+	a.queues[q].push(p)
+	if !a.inList[q] {
+		a.inList[q] = true
+		a.active = append(a.active, q)
+	}
+}
+
+// Dequeue transmits the next packet under SRR service, or returns false
+// when all queues are empty.
+func (a *ActiveSRR) Dequeue() (*packet.Packet, bool) {
+	for len(a.active) > 0 {
+		q := a.active[0]
+		if a.queues[q].len() == 0 {
+			a.deactivate(q)
+			continue
+		}
+		if !a.turnBegan {
+			a.deficit[q] += a.quantum[q]
+			a.turnBegan = true
+			if a.deficit[q] <= 0 {
+				// The fresh quantum did not clear the debt: the queue
+				// forfeits this turn (the SRR penalty).
+				a.rotate(q)
+				continue
+			}
+		}
+		if a.deficit[q] <= 0 {
+			a.rotate(q)
+			continue
+		}
+		p, _ := a.queues[q].pop()
+		a.deficit[q] -= int64(p.Len())
+		if a.queues[q].len() == 0 {
+			a.deactivate(q)
+		} else if a.deficit[q] <= 0 {
+			a.rotate(q)
+		}
+		return p, true
+	}
+	return nil, false
+}
+
+// rotate ends q's turn, moving it to the tail of the active list.
+func (a *ActiveSRR) rotate(q int) {
+	a.active = append(a.active[1:], q)
+	a.turnBegan = false
+}
+
+// deactivate removes q from the active list.
+func (a *ActiveSRR) deactivate(q int) {
+	a.active = a.active[1:]
+	a.inList[q] = false
+	a.turnBegan = false
+	if !a.KeepDebtWhenIdle && a.deficit[q] < 0 {
+		a.deficit[q] = 0
+	}
+	if a.deficit[q] > 0 {
+		// Unused positive credit does not accumulate across idleness;
+		// both DRR and SRR zero it so an idle queue cannot hoard
+		// bandwidth.
+		a.deficit[q] = 0
+	}
+}

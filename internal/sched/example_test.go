@@ -1,0 +1,63 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"stripe/internal/packet"
+	"stripe/internal/sched"
+)
+
+// ExampleSRR replays the paper's Figure 6: packets a..f striped over
+// two channels with 500-byte quanta.
+func ExampleSRR() {
+	s := sched.MustSRR([]int64{500, 500})
+	names := []string{"a", "d", "e", "b", "c", "f"}
+	sizes := []int{550, 200, 400, 150, 300, 400}
+	for i, n := range names {
+		c := s.Select()
+		fmt.Printf("%s(%d) -> channel %d\n", n, sizes[i], c+1)
+		s.Account(sizes[i])
+	}
+	// Output:
+	// a(550) -> channel 1
+	// d(200) -> channel 2
+	// e(400) -> channel 2
+	// b(150) -> channel 1
+	// c(300) -> channel 1
+	// f(400) -> channel 2
+}
+
+// ExampleFQ runs the same automaton in its original fair-queuing
+// direction (Figure 5): the outputs of the striper, fed back in as
+// queues, reproduce the original arrival order — the Theorem 3.1
+// correspondence.
+func ExampleFQ() {
+	fq := sched.NewFQ(sched.MustSRR([]int64{500, 500}))
+	// Queue 1 holds a,b,c; queue 2 holds d,e,f (the striper's outputs).
+	for _, e := range []struct {
+		q    int
+		name byte
+		size int
+	}{
+		{0, 'a', 550}, {0, 'b', 150}, {0, 'c', 300},
+		{1, 'd', 200}, {1, 'e', 400}, {1, 'f', 400},
+	} {
+		p := packet.NewDataSized(e.size)
+		p.ID = uint64(e.name)
+		fq.Enqueue(e.q, p)
+	}
+	for _, p := range fq.DrainBacklogged() {
+		fmt.Printf("%c", byte(p.ID))
+	}
+	fmt.Println()
+	// Output:
+	// adebcf
+}
+
+// ExampleQuantaForRates derives weighted quanta for dissimilar links.
+func ExampleQuantaForRates() {
+	quanta, _ := sched.QuantaForRates([]float64{10e6, 25e6, 155e6}, 1500)
+	fmt.Println(quanta)
+	// Output:
+	// [1500 3750 23250]
+}

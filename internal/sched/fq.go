@@ -1,0 +1,197 @@
+package sched
+
+import "stripe/internal/packet"
+
+// FQ drives a causal scheduler in its original, fair-queuing direction:
+// multiple input queues feeding one output channel (Figure 2 of the
+// paper). It is the "forward" half of the transformation; the striper in
+// internal/core is the "reverse" half. Running both with the same
+// automaton is what makes logical reception work, and the equivalence of
+// the two directions (executions E and E' in the proof of Theorem 3.1)
+// is verified directly by tests in this package.
+type FQ struct {
+	sched  Scheduler
+	queues []fifo
+}
+
+// NewFQ returns a fair-queuing engine over s.N() queues.
+func NewFQ(s Scheduler) *FQ {
+	return &FQ{sched: s, queues: make([]fifo, s.N())}
+}
+
+// Enqueue appends p to input queue q.
+func (f *FQ) Enqueue(q int, p *packet.Packet) { f.queues[q].push(p) }
+
+// Len returns the number of packets waiting in queue q.
+func (f *FQ) Len(q int) int { return f.queues[q].len() }
+
+// Backlogged reports whether every input queue holds at least one
+// packet — the regime in which the CFQ characterisation applies.
+func (f *FQ) Backlogged() bool {
+	for i := range f.queues {
+		if f.queues[i].len() == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether every input queue is empty.
+func (f *FQ) Empty() bool {
+	for i := range f.queues {
+		if f.queues[i].len() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Dequeue transmits the next packet: it selects queue f(s), pops its
+// head, and applies g(s, p). It returns false, leaving the scheduler
+// state unchanged in effect, if the selected queue is empty — the
+// backlogged model has no notion of skipping an empty queue, so the
+// caller either refills the queue or stops.
+func (f *FQ) Dequeue() (*packet.Packet, bool) {
+	q := f.sched.Select()
+	p, ok := f.queues[q].pop()
+	if !ok {
+		return nil, false
+	}
+	f.sched.Account(p.Len())
+	return p, true
+}
+
+// DrainBacklogged transmits packets until some queue would underflow,
+// returning the output sequence. It is the "run the FQ algorithm on the
+// striper's outputs" step used when checking Theorem 3.1.
+func (f *FQ) DrainBacklogged() []*packet.Packet {
+	var out []*packet.Packet
+	for {
+		p, ok := f.Dequeue()
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+	}
+}
+
+// fifo is a slice-backed FIFO of packets with an amortised O(1) pop.
+type fifo struct {
+	buf  []*packet.Packet
+	head int
+}
+
+func (f *fifo) push(p *packet.Packet) { f.buf = append(f.buf, p) }
+
+func (f *fifo) len() int { return len(f.buf) - f.head }
+
+func (f *fifo) pop() (*packet.Packet, bool) {
+	if f.head == len(f.buf) {
+		return nil, false
+	}
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	} else if f.head > 64 && f.head*2 > len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		for i := n; i < len(f.buf); i++ {
+			f.buf[i] = nil
+		}
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return p, true
+}
+
+// DRR is a practical Deficit Round Robin fair queuer [SV94] with the
+// standard active-list optimisation: empty queues are removed from the
+// scan and rejoin it on their next arrival, at which point their deficit
+// restarts from zero.
+//
+// DRR is deliberately included as a NON-causal contrast to SRR: whether
+// a queue is in the active list depends on arrivals, not on previously
+// transmitted packets, so a receiver cannot simulate it — see Section
+// 3.1 of the paper for why almost all practical FQ algorithms fall
+// outside the causal class. TestDRRIsNotCausal demonstrates the failure
+// concretely.
+type DRR struct {
+	quantum []int64
+	deficit []int64
+	queues  []fifo
+	active  []int
+	inList  []bool
+	// turnBegan records whether the queue at the head of the active list
+	// has already received its quantum for the current service turn.
+	turnBegan bool
+}
+
+// NewDRR returns a DRR fair queuer with the given per-queue quanta.
+func NewDRR(quanta []int64) (*DRR, error) {
+	if err := validateQuanta(quanta); err != nil {
+		return nil, err
+	}
+	n := len(quanta)
+	return &DRR{
+		quantum: append([]int64(nil), quanta...),
+		deficit: make([]int64, n),
+		queues:  make([]fifo, n),
+		inList:  make([]bool, n),
+	}, nil
+}
+
+// N returns the number of input queues.
+func (d *DRR) N() int { return len(d.quantum) }
+
+// Enqueue appends p to queue q, activating the queue if necessary.
+func (d *DRR) Enqueue(q int, p *packet.Packet) {
+	d.queues[q].push(p)
+	if !d.inList[q] {
+		d.inList[q] = true
+		d.active = append(d.active, q)
+	}
+}
+
+// Dequeue transmits the next packet under DRR service, or returns false
+// if all queues are empty.
+//
+// Unlike SRR, DRR checks the head-of-line packet size against the
+// remaining deficit before sending (never overdrawing), which is the
+// other reason it is non-causal.
+func (d *DRR) Dequeue() (*packet.Packet, bool) {
+	for len(d.active) > 0 {
+		q := d.active[0]
+		if d.queues[q].len() == 0 {
+			// Deactivated lazily.
+			d.active = d.active[1:]
+			d.inList[q] = false
+			d.deficit[q] = 0
+			d.turnBegan = false
+			continue
+		}
+		if !d.turnBegan {
+			d.deficit[q] += d.quantum[q]
+			d.turnBegan = true
+		}
+		head := d.queues[q].buf[d.queues[q].head]
+		if int64(head.Len()) > d.deficit[q] {
+			// Head does not fit in the remaining deficit: end the turn,
+			// rotate to the tail keeping the accumulated deficit.
+			d.active = append(d.active[1:], q)
+			d.turnBegan = false
+			continue
+		}
+		p, _ := d.queues[q].pop()
+		d.deficit[q] -= int64(p.Len())
+		if d.queues[q].len() == 0 {
+			d.active = d.active[1:]
+			d.inList[q] = false
+			d.deficit[q] = 0
+			d.turnBegan = false
+		}
+		return p, true
+	}
+	return nil, false
+}

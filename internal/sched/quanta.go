@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantaForRates derives byte-denominated SRR quanta proportional to the
+// given channel bandwidths, scaled so that the smallest quantum is at
+// least minQuantum. Setting minQuantum to the maximum packet size
+// satisfies the Quantum_i >= Max assumption of the marker-recovery
+// theorem (no channel is ever passed over unserved, so every round makes
+// progress on every channel).
+//
+// This is the weighted-fair-queuing generalisation the paper notes at
+// the end of Section 3.5: assigning larger quanta to higher-bandwidth
+// lines shares load in proportion to capacity.
+func QuantaForRates(rates []float64, minQuantum int64) ([]int64, error) {
+	if len(rates) == 0 {
+		return nil, errNoChannels
+	}
+	if minQuantum <= 0 {
+		return nil, fmt.Errorf("sched: minQuantum %d must be positive", minQuantum)
+	}
+	minRate := math.Inf(1)
+	for i, r := range rates {
+		if r <= 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+			return nil, fmt.Errorf("sched: rate %v for channel %d must be positive and finite", r, i)
+		}
+		if r < minRate {
+			minRate = r
+		}
+	}
+	quanta := make([]int64, len(rates))
+	for i, r := range rates {
+		q := int64(math.Round(r / minRate * float64(minQuantum)))
+		if q < 1 {
+			q = 1
+		}
+		quanta[i] = q
+	}
+	return quanta, nil
+}
+
+// CountsForRates derives GRR per-round packet counts from channel
+// bandwidths using the closest integer ratio, the policy described for
+// the GRR baseline in Section 6.2: divide every rate by the smallest and
+// round to the nearest integer.
+func CountsForRates(rates []float64) ([]int64, error) {
+	if len(rates) == 0 {
+		return nil, errNoChannels
+	}
+	minRate := math.Inf(1)
+	for i, r := range rates {
+		if r <= 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+			return nil, fmt.Errorf("sched: rate %v for channel %d must be positive and finite", r, i)
+		}
+		if r < minRate {
+			minRate = r
+		}
+	}
+	counts := make([]int64, len(rates))
+	for i, r := range rates {
+		c := int64(math.Round(r / minRate))
+		if c < 1 {
+			c = 1
+		}
+		counts[i] = c
+	}
+	return counts, nil
+}
+
+// UniformQuanta returns n equal quanta of size q, the configuration for
+// striping over identical links.
+func UniformQuanta(n int, q int64) []int64 {
+	quanta := make([]int64, n)
+	for i := range quanta {
+		quanta[i] = q
+	}
+	return quanta
+}
+
+// FairnessBound returns the Theorem 3.2 / Lemma 3.3 bound on the
+// deviation between the bytes channel i should carry after K rounds
+// (K·Quantum_i) and the bytes it actually carries: Max + 2·Quantum,
+// where Max is the maximum packet size and Quantum the maximum quantum.
+func FairnessBound(maxPacket int64, quanta []int64) int64 {
+	var maxQ int64
+	for _, q := range quanta {
+		if q > maxQ {
+			maxQ = q
+		}
+	}
+	return maxPacket + 2*maxQ
+}

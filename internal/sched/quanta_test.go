@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantaForRates(t *testing.T) {
+	q, err := QuantaForRates([]float64{10e6, 30e6, 20e6}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1500, 4500, 3000}
+	for i := range want {
+		if q[i] != want[i] {
+			t.Fatalf("quanta = %v, want %v", q, want)
+		}
+	}
+}
+
+func TestQuantaForRatesRounding(t *testing.T) {
+	q, err := QuantaForRates([]float64{6e6, 7.6e6}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[0] != 1000 {
+		t.Fatalf("min-rate quantum = %d, want 1000", q[0])
+	}
+	if want := int64(math.Round(7.6 / 6.0 * 1000)); q[1] != want {
+		t.Fatalf("quantum = %d, want %d", q[1], want)
+	}
+}
+
+func TestQuantaForRatesErrors(t *testing.T) {
+	if _, err := QuantaForRates(nil, 100); err == nil {
+		t.Error("empty rates accepted")
+	}
+	if _, err := QuantaForRates([]float64{0, 5}, 100); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := QuantaForRates([]float64{-1}, 100); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := QuantaForRates([]float64{math.Inf(1)}, 100); err == nil {
+		t.Error("infinite rate accepted")
+	}
+	if _, err := QuantaForRates([]float64{math.NaN()}, 100); err == nil {
+		t.Error("NaN rate accepted")
+	}
+	if _, err := QuantaForRates([]float64{5}, 0); err == nil {
+		t.Error("zero minQuantum accepted")
+	}
+}
+
+func TestCountsForRates(t *testing.T) {
+	// The paper's GRR example: equal effective rates reduce GRR to RR.
+	c, err := CountsForRates([]float64{6e6, 6e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != 1 || c[1] != 1 {
+		t.Fatalf("counts = %v, want [1 1]", c)
+	}
+	// A 2.4:1 ratio rounds to 2:1.
+	c, err = CountsForRates([]float64{24e6, 10e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != 2 || c[1] != 1 {
+		t.Fatalf("counts = %v, want [2 1]", c)
+	}
+}
+
+func TestCountsForRatesErrors(t *testing.T) {
+	if _, err := CountsForRates(nil); err == nil {
+		t.Error("empty rates accepted")
+	}
+	if _, err := CountsForRates([]float64{1, -2}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestUniformQuanta(t *testing.T) {
+	q := UniformQuanta(4, 1500)
+	if len(q) != 4 {
+		t.Fatalf("len = %d", len(q))
+	}
+	for _, v := range q {
+		if v != 1500 {
+			t.Fatalf("quanta = %v", q)
+		}
+	}
+}
+
+func TestFairnessBound(t *testing.T) {
+	if got := FairnessBound(1500, []int64{1000, 4000, 2000}); got != 1500+2*4000 {
+		t.Fatalf("bound = %d, want %d", got, 1500+2*4000)
+	}
+}

@@ -1,0 +1,103 @@
+package sched
+
+// RFQ is the randomized fair queuing scheme of Section 3.4: each packet
+// is assigned to a queue (channel) drawn from a weighted distribution.
+// Over all backlogged executions the expected number of bytes allocated
+// to any two equal-weight channels is identical, which is the paper's
+// fairness criterion for randomized schemes, and by Theorem 3.1 the
+// transformed load-sharing algorithm inherits it.
+//
+// RFQ is causal in the sense required for logical reception provided the
+// sender and receiver share the generator seed: the "state" s includes
+// the PRNG state, and f(s) is a deterministic function of it. The
+// generator is a 64-bit xorshift* so that the whole state fits in one
+// word and can be snapshotted, restored, or carried in a marker's RNG
+// field. RFQ has no round structure, so it does not support the
+// round/deficit marker protocol; resynchronization after loss requires
+// either sequence numbers or a reset.
+type RFQ struct {
+	weights []int64
+	total   int64
+	rng     uint64
+	last    int
+	chosen  bool
+}
+
+// NewRFQ returns a randomized scheduler over len(weights) channels with
+// the given relative weights and seed. A zero seed is replaced with a
+// fixed non-zero constant, since xorshift has an all-zero fixed point.
+func NewRFQ(weights []int64, seed uint64) (*RFQ, error) {
+	if err := validateQuanta(weights); err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RFQ{
+		weights: append([]int64(nil), weights...),
+		total:   total,
+		rng:     seed,
+	}, nil
+}
+
+// N implements Scheduler.
+func (r *RFQ) N() int { return len(r.weights) }
+
+// Select implements Scheduler. The choice is latched until Account so
+// repeated Selects agree.
+func (r *RFQ) Select() int {
+	if r.chosen {
+		return r.last
+	}
+	x := r.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.rng = x
+	// Map the draw onto the weight line. The modulo bias is negligible
+	// for the weight magnitudes used here and identical on both ends,
+	// which is all that correctness requires.
+	draw := int64(x % uint64(r.total))
+	for i, w := range r.weights {
+		draw -= w
+		if draw < 0 {
+			r.last = i
+			break
+		}
+	}
+	r.chosen = true
+	return r.last
+}
+
+// Account implements Scheduler. RFQ is size-oblivious per decision; the
+// weighting delivers fairness in expectation.
+func (r *RFQ) Account(int) {
+	if !r.chosen {
+		r.Select()
+	}
+	r.chosen = false
+}
+
+// Snapshot implements Causal. The entire decision state is the PRNG
+// word plus the latched choice.
+func (r *RFQ) Snapshot() State {
+	st := State{RNG: r.rng, Current: r.last}
+	st.Began = r.chosen
+	return st
+}
+
+// Restore implements Causal.
+func (r *RFQ) Restore(st State) {
+	r.rng = st.RNG
+	r.last = st.Current
+	r.chosen = st.Began
+}
+
+var (
+	_ Scheduler = (*RFQ)(nil)
+	_ Causal    = (*RFQ)(nil)
+)

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestRFQExpectedFairness checks the randomized fairness criterion of
+// Section 3.3: over a long backlogged execution, equal-weight channels
+// receive statistically indistinguishable byte allocations, and weighted
+// channels receive allocations proportional to weight.
+func TestRFQExpectedFairness(t *testing.T) {
+	r, err := NewRFQ([]int64{1, 1, 2}, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bytes [3]int64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		size := 100 + (i*37)%1400 // deterministic size mix
+		c := r.Select()
+		bytes[c] += int64(size)
+		r.Account(size)
+	}
+	total := bytes[0] + bytes[1] + bytes[2]
+	share := func(i int) float64 { return float64(bytes[i]) / float64(total) }
+	if s := share(0); s < 0.23 || s > 0.27 {
+		t.Fatalf("channel 0 share %.4f, want ~0.25", s)
+	}
+	if s := share(1); s < 0.23 || s > 0.27 {
+		t.Fatalf("channel 1 share %.4f, want ~0.25", s)
+	}
+	if s := share(2); s < 0.48 || s > 0.52 {
+		t.Fatalf("channel 2 share %.4f, want ~0.50", s)
+	}
+}
+
+// TestRFQReceiverSimulation checks that a receiver sharing the seed
+// replays the identical channel sequence — RFQ's version of causality.
+func TestRFQReceiverSimulation(t *testing.T) {
+	check := func(seed uint64) bool {
+		a, _ := NewRFQ([]int64{2, 3, 5}, seed)
+		b, _ := NewRFQ([]int64{2, 3, 5}, seed)
+		for i := 0; i < 2000; i++ {
+			if a.Select() != b.Select() {
+				return false
+			}
+			a.Account(100)
+			b.Account(100)
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRFQSnapshotRestore checks mid-stream resynchronization from a
+// snapshot (what a marker carrying the RNG field enables).
+func TestRFQSnapshotRestore(t *testing.T) {
+	a, _ := NewRFQ([]int64{1, 1}, 99)
+	for i := 0; i < 500; i++ {
+		a.Select()
+		a.Account(10)
+	}
+	st := a.Snapshot()
+	b, _ := NewRFQ([]int64{1, 1}, 1) // wrong seed on purpose
+	b.Restore(st)
+	for i := 0; i < 500; i++ {
+		if a.Select() != b.Select() {
+			t.Fatalf("diverged at step %d after restore", i)
+		}
+		a.Account(10)
+		b.Account(10)
+	}
+}
+
+// TestRFQSelectLatched checks that Select is stable until Account.
+func TestRFQSelectLatched(t *testing.T) {
+	r, _ := NewRFQ([]int64{1, 1, 1, 1}, 7)
+	for i := 0; i < 100; i++ {
+		c1 := r.Select()
+		c2 := r.Select()
+		if c1 != c2 {
+			t.Fatalf("Select not idempotent: %d then %d", c1, c2)
+		}
+		r.Account(64)
+	}
+}
+
+// TestRFQZeroSeed checks the all-zero xorshift fixed point is avoided.
+func TestRFQZeroSeed(t *testing.T) {
+	r, _ := NewRFQ([]int64{1, 1}, 0)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Select()] = true
+		r.Account(1)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("zero-seeded RFQ visited %d channels, want 2", len(seen))
+	}
+}
+
+// TestTransformationTheoremRFQ extends the Theorem 3.1 correspondence
+// to the randomized scheduler: with the same seed, FQ over the striper's
+// outputs reproduces the striper's input.
+func TestTransformationTheoremRFQ(t *testing.T) {
+	const seed = 2024
+	striper, _ := NewRFQ([]int64{1, 2, 1}, seed)
+	perChannel := make([][]int, 3)
+	sizes := make([]int, 600)
+	for i := range sizes {
+		sizes[i] = 50 + (i*101)%1200
+		c := striper.Select()
+		perChannel[c] = append(perChannel[c], i)
+		striper.Account(sizes[i])
+	}
+	sim, _ := NewRFQ([]int64{1, 2, 1}, seed)
+	fq := NewFQ(sim)
+	for c, ids := range perChannel {
+		for _, id := range ids {
+			fq.Enqueue(c, mkPkt(uint64(id), sizes[id]))
+		}
+	}
+	out := fq.DrainBacklogged()
+	if len(out) != len(sizes) {
+		t.Fatalf("drained %d, want %d", len(out), len(sizes))
+	}
+	for i, p := range out {
+		if p.ID != uint64(i) {
+			t.Fatalf("position %d: packet %d", i, p.ID)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperPackets is the six-packet example of Figures 2, 3, 5 and 6:
+// packets a..f with sizes 550, 150, 300, 200, 400, 400 and quantum 500
+// on both channels.
+var paperSizes = map[byte]int{
+	'a': 550, 'b': 150, 'c': 300, 'd': 200, 'e': 400, 'f': 400,
+}
+
+// TestSRRPaperTraceFigure6 replays the exact striping execution of
+// Figure 6: the input sequence a,d,e,b,c,f must split into channel 1 =
+// (a,b,c) and channel 2 = (d,e,f), with the deficit counters following
+// the annotated trace.
+func TestSRRPaperTraceFigure6(t *testing.T) {
+	s := MustSRR([]int64{500, 500})
+
+	// The arrival order consistent with the figures: the FQ output in
+	// Figure 5 is a, d, e, b, c, f; time-reversed it is the striper's
+	// input.
+	input := []byte{'a', 'd', 'e', 'b', 'c', 'f'}
+	wantChannel := map[byte]int{'a': 0, 'b': 0, 'c': 0, 'd': 1, 'e': 1, 'f': 1}
+
+	type step struct {
+		dc0, dc1 int64
+		round    uint64
+	}
+	// Deficit counters after each packet is accounted, per Figure 6:
+	// after a: DC1 = -50 (move to ch2, round stays 0)
+	// after d: DC2 = 300
+	// after e: DC2 = -100 (wrap, round 1)
+	// after b: DC1 = 450+... see trace: round 2 adds 500 to -50 -> 450,
+	// minus 150 -> 300; after c: 0 (move on); after f: 400-400 = 0.
+	wantSteps := []step{
+		{-50, 0, 0},
+		{-50, 300, 0},
+		{-50, -100, 1},
+		{300, -100, 1},
+		{0, -100, 1},
+		{0, 0, 2},
+	}
+
+	for i, id := range input {
+		got := s.Select()
+		if want := wantChannel[id]; got != want {
+			t.Fatalf("packet %c: sent on channel %d, want %d", id, got, want)
+		}
+		s.Account(paperSizes[id])
+		st := s.Snapshot()
+		w := wantSteps[i]
+		if st.Deficits[0] != w.dc0 || st.Deficits[1] != w.dc1 || st.Round != w.round {
+			t.Fatalf("after %c: DC=(%d,%d) round=%d, want DC=(%d,%d) round=%d",
+				id, st.Deficits[0], st.Deficits[1], st.Round, w.dc0, w.dc1, w.round)
+		}
+	}
+}
+
+// TestSRRRoundStructure checks the round accounting: with quantum equal
+// to the (uniform) packet size SRR degenerates to one packet per channel
+// per round, the configuration of the Section 5 walkthrough.
+func TestSRRRoundStructure(t *testing.T) {
+	const n = 4
+	s := MustSRR(UniformQuanta(n, 100))
+	for round := uint64(0); round < 5; round++ {
+		for c := 0; c < n; c++ {
+			if got := s.Round(); got != round {
+				t.Fatalf("round = %d, want %d", got, round)
+			}
+			if got := s.Select(); got != c {
+				t.Fatalf("round %d: Select() = %d, want %d", round, got, c)
+			}
+			s.Account(100)
+		}
+	}
+}
+
+// TestRRAlternates checks that ordinary round robin ignores sizes.
+func TestRRAlternates(t *testing.T) {
+	s, err := NewRR(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{1500, 40, 1500, 1500, 40, 40, 9000, 1, 64}
+	for i, sz := range sizes {
+		if got, want := s.Select(), i%3; got != want {
+			t.Fatalf("packet %d: channel %d, want %d", i, got, want)
+		}
+		s.Account(sz)
+	}
+	if got := s.Round(); got != 3 {
+		t.Fatalf("round = %d, want 3", got)
+	}
+}
+
+// TestGRRCounts checks the packet-count quanta: a 2:1 ratio must carry
+// two packets on channel 0 for every one on channel 1.
+func TestGRRCounts(t *testing.T) {
+	s, err := NewGRR([]int64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 0, 0, 1, 0, 0, 1}
+	for i, w := range want {
+		if got := s.Select(); got != w {
+			t.Fatalf("packet %d: channel %d, want %d", i, got, w)
+		}
+		s.Account(1000 + i) // sizes must not matter
+	}
+}
+
+// TestSRRFairnessBound is the Theorem 3.2 / Lemma 3.3 property test:
+// for random packet-size sequences, after any prefix of K complete
+// rounds, |K*Quantum_i - bytes_i| <= Max + 2*Quantum for every channel.
+func TestSRRFairnessBound(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nch := 2 + rng.Intn(6)
+		maxPkt := 64 + rng.Intn(1500)
+		quanta := make([]int64, nch)
+		for i := range quanta {
+			// Quantum >= Max keeps every channel served every round, the
+			// regime the bound is stated for.
+			quanta[i] = int64(maxPkt + rng.Intn(4*maxPkt))
+		}
+		s := MustSRR(quanta)
+		bound := FairnessBound(int64(maxPkt), quanta)
+
+		sent := make([]int64, nch)
+		lastRound := uint64(0)
+		for i := 0; i < 20000; i++ {
+			size := 1 + rng.Intn(maxPkt)
+			c := s.Select()
+			sent[c] += int64(size)
+			s.Account(size)
+			if r := s.Round(); r != lastRound {
+				lastRound = r
+				k := int64(r)
+				for i := range sent {
+					dev := k*quanta[i] - sent[i]
+					if dev < 0 {
+						dev = -dev
+					}
+					if dev > bound {
+						t.Logf("seed %d: channel %d after %d rounds: |%d| > bound %d",
+							seed, i, r, dev, bound)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSRRFairnessGrowsUnboundedForGRR shows the contrast motivating SRR:
+// under the adversarial alternating big/small workload of Section 6.2,
+// GRR's byte imbalance grows linearly while SRR's stays bounded.
+func TestSRRFairnessGrowsUnboundedForGRR(t *testing.T) {
+	grr, _ := NewGRR([]int64{1, 1})
+	srr := MustSRR([]int64{1000, 1000})
+	var grrBytes, srrBytes [2]int64
+	for i := 0; i < 10000; i++ {
+		size := 1000
+		if i%2 == 1 {
+			size = 200
+		}
+		c := grr.Select()
+		grrBytes[c] += int64(size)
+		grr.Account(size)
+
+		c = srr.Select()
+		srrBytes[c] += int64(size)
+		srr.Account(size)
+	}
+	grrDiff := grrBytes[0] - grrBytes[1]
+	if grrDiff < 0 {
+		grrDiff = -grrDiff
+	}
+	srrDiff := srrBytes[0] - srrBytes[1]
+	if srrDiff < 0 {
+		srrDiff = -srrDiff
+	}
+	if grrDiff < 1000000 {
+		t.Fatalf("GRR imbalance %d unexpectedly small; the adversarial workload should load one channel with all big packets", grrDiff)
+	}
+	if bound := FairnessBound(1000, []int64{1000, 1000}); srrDiff > bound {
+		t.Fatalf("SRR imbalance %d exceeds bound %d", srrDiff, bound)
+	}
+}
+
+// TestSRRSnapshotRestore verifies that a restored automaton replays the
+// identical decision sequence — the property logical reception rests on.
+func TestSRRSnapshotRestore(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		quanta := []int64{1500, 3000, 2200}
+		a := MustSRR(quanta)
+
+		// Warm up with a random prefix.
+		for i := 0; i < rng.Intn(500); i++ {
+			a.Select()
+			a.Account(1 + rng.Intn(1500))
+		}
+		st := a.Snapshot()
+		b := MustSRR(quanta)
+		b.Restore(st)
+
+		sizes := make([]int, 1000)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(1500)
+		}
+		for _, sz := range sizes {
+			if a.Select() != b.Select() {
+				return false
+			}
+			a.Account(sz)
+			b.Account(sz)
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSRRSkipRule exercises SelectFor: skipping a channel must advance
+// past it without granting its quantum.
+func TestSRRSkipRule(t *testing.T) {
+	s := MustSRR([]int64{100, 100, 100})
+	skipCh1 := func(c int) bool { return c == 1 }
+	if got := s.SelectFor(skipCh1); got != 0 {
+		t.Fatalf("Select = %d, want 0", got)
+	}
+	s.Account(100) // ends channel 0's service
+	if got := s.SelectFor(skipCh1); got != 2 {
+		t.Fatalf("Select = %d, want 2 (channel 1 skipped)", got)
+	}
+	if got := s.Deficit(1); got != 0 {
+		t.Fatalf("skipped channel deficit = %d, want 0 (no quantum granted)", got)
+	}
+	s.Account(100)
+	if got := s.Round(); got != 1 {
+		t.Fatalf("round = %d, want 1", got)
+	}
+}
+
+// TestSRRSkippedOverdraftChannel checks that a channel whose fresh
+// quantum cannot clear its overdraft loses the round — the "penalised in
+// the next round" rule.
+func TestSRRSkippedOverdraftChannel(t *testing.T) {
+	s := MustSRR([]int64{100, 100})
+	if got := s.Select(); got != 0 {
+		t.Fatalf("Select = %d, want 0", got)
+	}
+	s.Account(350) // overdraft of 250: needs three more quanta to recover
+	// Rounds 1-3: channel 0's deficit stays non-positive after one and
+	// two fresh quanta (-150, -50), so only channel 1 is served.
+	for round := 0; round < 3; round++ {
+		if got := s.Select(); got != 1 {
+			t.Fatalf("round %d: Select = %d, want 1", round, got)
+		}
+		s.Account(100)
+	}
+	// Fourth visit: -250 + 3*100 = +50, service resumes.
+	if got := s.Select(); got != 0 {
+		t.Fatalf("Select = %d, want 0 after recovery", got)
+	}
+}
+
+// TestNextServiceRound pins the marker numbering convention.
+func TestNextServiceRound(t *testing.T) {
+	s := MustSRR(UniformQuanta(3, 100))
+	s.Select()
+	s.Account(100) // channel 0 done; pointer at 1, round 0
+	if got := s.NextServiceRound(0); got != 1 {
+		t.Fatalf("NextServiceRound(0) = %d, want 1", got)
+	}
+	if got := s.NextServiceRound(1); got != 0 {
+		t.Fatalf("NextServiceRound(1) = %d, want 0", got)
+	}
+	if got := s.NextServiceRound(2); got != 0 {
+		t.Fatalf("NextServiceRound(2) = %d, want 0", got)
+	}
+}
+
+// TestAdvanceRoundTo checks the fast-forward used when every channel is
+// skip-listed.
+func TestAdvanceRoundTo(t *testing.T) {
+	s := MustSRR(UniformQuanta(2, 100))
+	s.AdvanceRoundTo(7)
+	if got := s.Round(); got != 7 {
+		t.Fatalf("Round = %d, want 7", got)
+	}
+	if got := s.Current(); got != 0 {
+		t.Fatalf("Current = %d, want 0", got)
+	}
+	// Regressing is a no-op.
+	s.AdvanceRoundTo(3)
+	if got := s.Round(); got != 7 {
+		t.Fatalf("Round = %d after regress attempt, want 7", got)
+	}
+}
+
+// TestSRRReset checks crash-recovery reinitialisation.
+func TestSRRReset(t *testing.T) {
+	s := MustSRR(UniformQuanta(2, 100))
+	for i := 0; i < 7; i++ {
+		s.Select()
+		s.Account(130)
+	}
+	s.Reset()
+	st := s.Snapshot()
+	if st.Round != 0 || st.Current != 0 || st.Began || st.Deficits[0] != 0 || st.Deficits[1] != 0 {
+		t.Fatalf("Reset left state %+v", st)
+	}
+}
+
+// TestSRRCloneIndependent checks that clones do not share state.
+func TestSRRCloneIndependent(t *testing.T) {
+	a := MustSRR(UniformQuanta(2, 500))
+	a.Select()
+	a.Account(400)
+	b := a.Clone()
+	b.Account(400)
+	if a.Deficit(0) == b.Deficit(0) {
+		t.Fatalf("clone shares deficit state: %d", a.Deficit(0))
+	}
+}
+
+// TestInvalidConstructors covers constructor validation.
+func TestInvalidConstructors(t *testing.T) {
+	if _, err := NewSRR(nil); err == nil {
+		t.Error("NewSRR(nil) succeeded")
+	}
+	if _, err := NewSRR([]int64{100, 0}); err == nil {
+		t.Error("NewSRR with zero quantum succeeded")
+	}
+	if _, err := NewSRR([]int64{100, -5}); err == nil {
+		t.Error("NewSRR with negative quantum succeeded")
+	}
+	if _, err := NewRR(0); err == nil {
+		t.Error("NewRR(0) succeeded")
+	}
+	if _, err := NewGRR([]int64{}); err == nil {
+		t.Error("NewGRR(empty) succeeded")
+	}
+}
+
+// TestWeightedSRRShares checks weighted load sharing for dissimilar
+// links: a 3:1 quantum ratio must carry ~3x the bytes on the fast
+// channel over a long random run.
+func TestWeightedSRRShares(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	quanta := []int64{4500, 1500}
+	s := MustSRR(quanta)
+	var bytes [2]int64
+	for i := 0; i < 50000; i++ {
+		size := 40 + rng.Intn(1460)
+		c := s.Select()
+		bytes[c] += int64(size)
+		s.Account(size)
+	}
+	ratio := float64(bytes[0]) / float64(bytes[1])
+	if ratio < 2.9 || ratio > 3.1 {
+		t.Fatalf("byte ratio = %.3f, want ~3.0", ratio)
+	}
+}
+
+func BenchmarkSRRDecision(b *testing.B) {
+	s := MustSRR(UniformQuanta(4, 3000))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Select()
+		s.Account(1000)
+	}
+}
+
+func BenchmarkRRDecision(b *testing.B) {
+	s, _ := NewRR(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Select()
+		s.Account(1000)
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+
+	"stripe/internal/packet"
+)
+
+// CPUConfig models the receiving workstation's packet-processing costs.
+// The paper attributes the strIPe throughput flattening to interrupt
+// load: with one busy interface many packets are handled per interrupt,
+// while striping spreads arrivals over several interfaces and pays the
+// fixed interrupt cost far more often.
+type CPUConfig struct {
+	// PerInterrupt is the fixed cost of taking one receive interrupt.
+	PerInterrupt Time
+	// PerPacket is the cost of processing one packet (driver + IP).
+	PerPacket Time
+	// PerByte is the data-touching cost per payload byte (checksum,
+	// copy), in nanoseconds per byte.
+	PerByte float64
+	// Ring is the per-NIC receive ring capacity in packets (default
+	// 128); overflow drops the packet, which TCP observes as loss.
+	Ring int
+	// Coalesce is the per-NIC interrupt-coalescing window: an interrupt
+	// is raised when the ring fills or Coalesce elapses after the first
+	// packet lands in an empty ring. This is the mechanism that makes a
+	// single loaded interface cheap per packet (batch ≈ rate × window)
+	// and striping expensive (each interface batches only its own
+	// share). Zero raises interrupts immediately.
+	Coalesce Time
+}
+
+// HostStats counts receive-side events.
+type HostStats struct {
+	Interrupts int64
+	Packets    int64
+	Bytes      int64
+	RingDrops  int64
+	// Busy is cumulative CPU time spent in receive processing.
+	Busy Time
+}
+
+// Host models the receiving workstation: per-NIC receive rings drained
+// by a single CPU, one ring per interrupt (batching), round-robin
+// across NICs with raised interrupts.
+type Host struct {
+	sim   *Sim
+	cfg   CPUConfig
+	rings [][]*packet.Packet
+	armed []bool // coalescing timer pending
+	ready []bool // interrupt raised, awaiting CPU
+	busy  bool
+	next  int // round-robin scan position
+	out   func(nic int, p *packet.Packet)
+	stats HostStats
+}
+
+// NewHost creates a host with n NICs delivering processed packets to
+// out.
+func NewHost(s *Sim, n int, cfg CPUConfig, out func(nic int, p *packet.Packet)) (*Host, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: host needs at least one NIC")
+	}
+	if out == nil {
+		return nil, fmt.Errorf("sim: host needs an output callback")
+	}
+	if cfg.Ring <= 0 {
+		cfg.Ring = 128
+	}
+	return &Host{
+		sim:   s,
+		cfg:   cfg,
+		rings: make([][]*packet.Packet, n),
+		armed: make([]bool, n),
+		ready: make([]bool, n),
+		out:   out,
+	}, nil
+}
+
+// Stats returns a copy of the counters.
+func (h *Host) Stats() HostStats { return h.stats }
+
+// NICInput returns the arrival callback for NIC i, suitable as a link's
+// deliver function.
+func (h *Host) NICInput(i int) func(p *packet.Packet) {
+	return func(p *packet.Packet) { h.arrive(i, p) }
+}
+
+func (h *Host) arrive(nic int, p *packet.Packet) {
+	if len(h.rings[nic]) >= h.cfg.Ring {
+		h.stats.RingDrops++
+		return
+	}
+	h.rings[nic] = append(h.rings[nic], p)
+	switch {
+	case h.ready[nic]:
+		// Interrupt already raised; the packet joins the pending batch.
+	case len(h.rings[nic]) >= h.cfg.Ring:
+		// Ring filled before the window expired: raise immediately.
+		h.ready[nic] = true
+		h.maybeService()
+	case h.cfg.Coalesce <= 0:
+		h.ready[nic] = true
+		h.maybeService()
+	case !h.armed[nic]:
+		h.armed[nic] = true
+		h.sim.After(h.cfg.Coalesce, func() {
+			h.armed[nic] = false
+			if len(h.rings[nic]) > 0 && !h.ready[nic] {
+				h.ready[nic] = true
+				h.maybeService()
+			}
+		})
+	}
+}
+
+// maybeService starts servicing the next NIC with a raised interrupt if
+// the CPU is idle. The whole ring is drained in one interrupt.
+func (h *Host) maybeService() {
+	if h.busy {
+		return
+	}
+	n := len(h.rings)
+	for k := 0; k < n; k++ {
+		nic := (h.next + k) % n
+		if !h.ready[nic] || len(h.rings[nic]) == 0 {
+			continue
+		}
+		batch := h.rings[nic]
+		h.rings[nic] = nil
+		h.ready[nic] = false
+		h.next = (nic + 1) % n
+		var bytes int64
+		for _, p := range batch {
+			bytes += int64(p.Len())
+		}
+		cost := h.cfg.PerInterrupt +
+			Time(len(batch))*h.cfg.PerPacket +
+			Time(float64(bytes)*h.cfg.PerByte)
+		h.busy = true
+		h.stats.Interrupts++
+		h.stats.Packets += int64(len(batch))
+		h.stats.Bytes += bytes
+		h.stats.Busy += cost
+		h.sim.After(cost, func() {
+			h.busy = false
+			for _, p := range batch {
+				h.out(nic, p)
+			}
+			h.maybeService()
+		})
+		return
+	}
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"fmt"
+
+	"stripe/internal/channel"
+	"stripe/internal/packet"
+	"stripe/internal/trace"
+)
+
+// Source is an open-loop (UDP-like) packet generator: it pushes packets
+// into a channel.Sender on an arrival process, with no feedback. It
+// models the datagram applications of Section 6.3.
+type Source struct {
+	sim      *Sim
+	path     channel.Sender
+	sizes    trace.SizeGen
+	arrivals trace.ArrivalGen
+	limit    int64
+	sent     int64
+	nextID   uint64
+	// sendTimes records emission times by ID (the striper re-stamps
+	// packet instrumentation, so latency must be joined here).
+	sendTimes []int64
+}
+
+// NewSource builds a source that emits `limit` packets (0 = unlimited)
+// with the given size and arrival processes. Call Start to begin.
+func NewSource(s *Sim, path channel.Sender, sizes trace.SizeGen, arrivals trace.ArrivalGen, limit int64) (*Source, error) {
+	if path == nil || sizes == nil || arrivals == nil {
+		return nil, fmt.Errorf("sim: source needs a path, sizes and arrivals")
+	}
+	return &Source{sim: s, path: path, sizes: sizes, arrivals: arrivals, limit: limit}, nil
+}
+
+// Start schedules the first arrival.
+func (src *Source) Start() { src.sim.After(Time(src.arrivals.NextGap()), src.emit) }
+
+// Sent returns the number of packets emitted.
+func (src *Source) Sent() int64 { return src.sent }
+
+// SendTime returns when packet id was emitted, in nanoseconds.
+func (src *Source) SendTime(id uint64) int64 {
+	if id >= uint64(len(src.sendTimes)) {
+		return 0
+	}
+	return src.sendTimes[id]
+}
+
+func (src *Source) emit() {
+	if src.limit > 0 && src.sent >= src.limit {
+		return
+	}
+	p := packet.NewDataSized(src.sizes.Next())
+	p.ID = src.nextID
+	src.sendTimes = append(src.sendTimes, int64(src.sim.Now()))
+	src.nextID++
+	_ = src.path.Send(p)
+	src.sent++
+	if src.limit == 0 || src.sent < src.limit {
+		src.sim.After(Time(src.arrivals.NextGap()), src.emit)
+	}
+}
+
+// Sink collects delivered packets with their delivery times, for
+// latency and ordering analysis.
+type Sink struct {
+	sim *Sim
+	// SendTime, when non-nil, maps a packet ID to its emission time;
+	// wire it to Source.SendTime for end-to-end latency.
+	SendTime func(id uint64) int64
+	// IDs is the delivery order (ingress IDs).
+	IDs []uint64
+	// LatencyNs holds per-packet end-to-end latency in nanoseconds,
+	// aligned with IDs (zero without a SendTime source).
+	LatencyNs []int64
+	// Bytes is the cumulative delivered payload.
+	Bytes int64
+}
+
+// NewSink returns an empty collector.
+func NewSink(s *Sim) *Sink { return &Sink{sim: s} }
+
+// Deliver records one packet; use it as the terminal OnPacket/out hook.
+func (k *Sink) Deliver(p *packet.Packet) {
+	if p.Kind != packet.Data {
+		return
+	}
+	k.IDs = append(k.IDs, p.ID)
+	var lat int64
+	if k.SendTime != nil {
+		lat = int64(k.sim.Now()) - k.SendTime(p.ID)
+	}
+	k.LatencyNs = append(k.LatencyNs, lat)
+	k.Bytes += int64(p.Len())
+}
+
+// MaxLatency returns the largest observed latency in nanoseconds.
+func (k *Sink) MaxLatency() int64 {
+	var m int64
+	for _, l := range k.LatencyNs {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// MeanLatency returns the average latency in nanoseconds.
+func (k *Sink) MeanLatency() float64 {
+	if len(k.LatencyNs) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, l := range k.LatencyNs {
+		sum += l
+	}
+	return float64(sum) / float64(len(k.LatencyNs))
+}

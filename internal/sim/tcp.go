@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"stripe/internal/channel"
+	"stripe/internal/packet"
+	"stripe/internal/trace"
+)
+
+// TCPHeaderLen is the bytes of each segment payload reserved for the
+// transport header (sequence number plus padding to a realistic 20
+// bytes). The striping layer never looks inside — the sequence number
+// lives in the packet payload exactly as a real TCP header would, so
+// data packets remain unmodified by striping.
+const TCPHeaderLen = 20
+
+// TCPConfig tunes the Reno-style transport.
+type TCPConfig struct {
+	// MSS is the maximum segment payload including TCPHeaderLen
+	// (default 1460).
+	MSS int
+	// RcvWnd is the receiver window in bytes (default 65536, matching
+	// the era's socket buffers and keeping steady-state cwnd below the
+	// interface queue capacity).
+	RcvWnd int64
+	// RTO is the (fixed) retransmission timeout (default 100ms).
+	RTO Time
+	// AckDelay is the reverse-path latency for ACKs (default 200µs).
+	AckDelay Time
+	// Sizes generates segment payload sizes (default Constant(MSS)).
+	// Sizes below TCPHeaderLen+1 are raised to it; above MSS, clamped.
+	Sizes trace.SizeGen
+	// InitCwnd is the initial window in segments (default 2).
+	InitCwnd int
+}
+
+func (c *TCPConfig) fill() {
+	if c.MSS <= 0 {
+		c.MSS = 1460
+	}
+	if c.RcvWnd <= 0 {
+		c.RcvWnd = 65536
+	}
+	if c.RTO <= 0 {
+		c.RTO = 100 * Millisecond
+	}
+	if c.AckDelay <= 0 {
+		c.AckDelay = 200 * Microsecond
+	}
+	if c.InitCwnd <= 0 {
+		c.InitCwnd = 2
+	}
+}
+
+type tcpSeg struct {
+	seq int64
+	n   int // payload bytes beyond the header
+}
+
+// TCPStats summarises a sender's behaviour.
+type TCPStats struct {
+	SegmentsSent    int64
+	Retransmits     int64
+	FastRetransmits int64
+	Timeouts        int64
+	DupAcksSeen     int64
+}
+
+// TCPSender is a backlogged Reno-style sender pushing segments into a
+// channel.Sender (a bare link, or a striper).
+type TCPSender struct {
+	sim  *Sim
+	path channel.Sender
+	cfg  TCPConfig
+
+	sndUna, sndNxt int64
+	cwnd, ssthresh float64
+	segs           []tcpSeg
+	dup            int
+	inRec          bool
+	recover        int64
+	rtoToken       uint64
+	peeked         int // size drawn from the generator but not yet sent
+	stats          TCPStats
+}
+
+// NewTCPSender returns a backlogged sender. Call Start once the
+// receiver is wired.
+func NewTCPSender(s *Sim, path channel.Sender, cfg TCPConfig) (*TCPSender, error) {
+	if path == nil {
+		return nil, fmt.Errorf("sim: TCP sender needs a path")
+	}
+	cfg.fill()
+	if cfg.Sizes == nil {
+		cfg.Sizes = trace.Constant(cfg.MSS)
+	}
+	t := &TCPSender{
+		sim:      s,
+		path:     path,
+		cfg:      cfg,
+		ssthresh: float64(cfg.RcvWnd),
+	}
+	t.cwnd = float64(cfg.InitCwnd * cfg.MSS)
+	return t, nil
+}
+
+// Stats returns a copy of the counters.
+func (t *TCPSender) Stats() TCPStats { return t.stats }
+
+// Start begins transmission.
+func (t *TCPSender) Start() { t.trySend() }
+
+func (t *TCPSender) window() float64 {
+	w := t.cwnd
+	if r := float64(t.cfg.RcvWnd); r < w {
+		w = r
+	}
+	return w
+}
+
+func (t *TCPSender) nextSize() int {
+	n := t.cfg.Sizes.Next()
+	if n > t.cfg.MSS {
+		n = t.cfg.MSS
+	}
+	if n <= TCPHeaderLen {
+		n = TCPHeaderLen + 1
+	}
+	return n
+}
+
+func (t *TCPSender) trySend() {
+	for {
+		size := t.nextSizePeek()
+		inFlight := float64(t.sndNxt - t.sndUna)
+		if inFlight+float64(size) > t.window() {
+			return
+		}
+		t.consumePeek()
+		t.emit(t.sndNxt, size-TCPHeaderLen, false)
+		t.segs = append(t.segs, tcpSeg{seq: t.sndNxt, n: size - TCPHeaderLen})
+		t.sndNxt += int64(size - TCPHeaderLen)
+	}
+}
+
+// nextSizePeek memoises a size drawn from the generator so a size that
+// does not currently fit the window is not discarded.
+func (t *TCPSender) nextSizePeek() int {
+	if t.peeked == 0 {
+		t.peeked = t.nextSize()
+	}
+	return t.peeked
+}
+
+func (t *TCPSender) consumePeek() { t.peeked = 0 }
+
+// emit builds and transmits one segment. retrans marks retransmissions
+// for the counters.
+func (t *TCPSender) emit(seq int64, n int, retrans bool) {
+	p := packet.NewDataSized(TCPHeaderLen + n)
+	binary.BigEndian.PutUint64(p.Payload[:8], uint64(seq))
+	binary.BigEndian.PutUint32(p.Payload[8:12], uint32(n))
+	t.stats.SegmentsSent++
+	if retrans {
+		t.stats.Retransmits++
+	}
+	_ = t.path.Send(p)
+	t.armRTO()
+}
+
+func (t *TCPSender) armRTO() {
+	t.rtoToken++
+	token := t.rtoToken
+	t.sim.After(t.cfg.RTO, func() { t.onRTO(token) })
+}
+
+func (t *TCPSender) onRTO(token uint64) {
+	if token != t.rtoToken || t.sndUna == t.sndNxt {
+		return // stale timer or nothing outstanding
+	}
+	t.stats.Timeouts++
+	flight := float64(t.sndNxt - t.sndUna)
+	t.ssthresh = maxf(flight/2, float64(2*t.cfg.MSS))
+	t.cwnd = float64(t.cfg.MSS)
+	t.dup = 0
+	t.inRec = false
+	if len(t.segs) > 0 {
+		t.emit(t.segs[0].seq, t.segs[0].n, true)
+	}
+}
+
+// OnAck processes a cumulative acknowledgment.
+func (t *TCPSender) OnAck(ack int64) {
+	switch {
+	case ack > t.sndUna:
+		newly := float64(ack - t.sndUna)
+		t.sndUna = ack
+		for len(t.segs) > 0 && t.segs[0].seq+int64(t.segs[0].n) <= ack {
+			t.segs = t.segs[1:]
+		}
+		t.dup = 0
+		t.armRTO()
+		if t.inRec {
+			if ack >= t.recover {
+				t.inRec = false
+				t.cwnd = t.ssthresh
+			} else if len(t.segs) > 0 {
+				// Partial ACK (NewReno): retransmit the next hole and
+				// stay in recovery.
+				t.emit(t.segs[0].seq, t.segs[0].n, true)
+				t.stats.FastRetransmits++
+			}
+		} else if t.cwnd < t.ssthresh {
+			t.cwnd += minf(newly, float64(t.cfg.MSS)) // slow start
+		} else {
+			t.cwnd += float64(t.cfg.MSS) * float64(t.cfg.MSS) / t.cwnd // congestion avoidance
+		}
+		t.trySend()
+	case ack == t.sndUna && t.sndNxt > t.sndUna:
+		t.dup++
+		t.stats.DupAcksSeen++
+		if t.inRec {
+			t.cwnd += float64(t.cfg.MSS) // window inflation
+			t.trySend()
+		} else if t.dup == 3 {
+			flight := float64(t.sndNxt - t.sndUna)
+			t.ssthresh = maxf(flight/2, float64(2*t.cfg.MSS))
+			if len(t.segs) > 0 {
+				t.emit(t.segs[0].seq, t.segs[0].n, true)
+				t.stats.FastRetransmits++
+			}
+			t.cwnd = t.ssthresh + 3*float64(t.cfg.MSS)
+			t.inRec = true
+			t.recover = t.sndNxt
+			t.trySend()
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TCPReceiver reassembles the byte stream and generates cumulative
+// ACKs, with duplicate ACKs for out-of-order arrivals — the signal that
+// turns reordering into sender back-off when resequencing is disabled.
+type TCPReceiver struct {
+	sim     *Sim
+	cfg     TCPConfig
+	sender  *TCPSender
+	rcvNxt  int64
+	ooo     map[int64]int
+	acks    int64
+	dupAcks int64
+}
+
+// NewTCPReceiver wires the receive side back to the sender with the
+// configured ACK delay.
+func NewTCPReceiver(s *Sim, sender *TCPSender, cfg TCPConfig) *TCPReceiver {
+	cfg.fill()
+	return &TCPReceiver{sim: s, cfg: cfg, sender: sender, ooo: make(map[int64]int)}
+}
+
+// Goodput returns the in-order bytes delivered to the application.
+func (r *TCPReceiver) Goodput() int64 { return r.rcvNxt }
+
+// Acks returns total and duplicate ACK counts.
+func (r *TCPReceiver) Acks() (total, dup int64) { return r.acks, r.dupAcks }
+
+// OnPacket accepts one segment from the (possibly resequencing)
+// stripe layer.
+func (r *TCPReceiver) OnPacket(p *packet.Packet) {
+	if p.Kind != packet.Data || p.Len() < TCPHeaderLen {
+		return
+	}
+	seq := int64(binary.BigEndian.Uint64(p.Payload[:8]))
+	n := int(binary.BigEndian.Uint32(p.Payload[8:12]))
+	if n != p.Len()-TCPHeaderLen {
+		return // corrupt
+	}
+	switch {
+	case seq == r.rcvNxt:
+		r.rcvNxt += int64(n)
+		for {
+			ln, ok := r.ooo[r.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(r.ooo, r.rcvNxt)
+			r.rcvNxt += int64(ln)
+		}
+	case seq > r.rcvNxt:
+		if len(r.ooo) < 4096 {
+			r.ooo[seq] = n
+		}
+		r.dupAcks++
+	default:
+		// Old or duplicate data: ack again.
+	}
+	r.acks++
+	ack := r.rcvNxt
+	r.sim.After(r.cfg.AckDelay, func() { r.sender.OnAck(ack) })
+}
+
+var _ channel.Sender = (*Link)(nil)

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"stripe/internal/packet"
+)
+
+// collectSender captures emitted segments without a network.
+type collectSender struct {
+	segs []*packet.Packet
+}
+
+func (c *collectSender) Send(p *packet.Packet) error {
+	c.segs = append(c.segs, p)
+	return nil
+}
+
+func seqOf(p *packet.Packet) int64 {
+	return int64(binary.BigEndian.Uint64(p.Payload[:8]))
+}
+
+// TestTCPFastRetransmitOnTripleDup exercises the dup-ack state machine
+// directly: three duplicate ACKs trigger exactly one fast retransmit of
+// the first unacked segment, and a full ACK exits recovery with cwnd =
+// ssthresh.
+func TestTCPFastRetransmitOnTripleDup(t *testing.T) {
+	s := New()
+	out := &collectSender{}
+	snd, err := NewTCPSender(s, out, TCPConfig{MSS: 1000, RcvWnd: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd.Start()
+	initial := len(out.segs)
+	if initial == 0 {
+		t.Fatal("nothing sent at start")
+	}
+	firstSeq := seqOf(out.segs[0])
+
+	// Two duplicate ACKs: below the threshold, nothing retransmitted.
+	snd.OnAck(firstSeq)
+	snd.OnAck(firstSeq)
+	if st := snd.Stats(); st.FastRetransmits != 0 {
+		t.Fatalf("retransmitted before the third dup: %+v", st)
+	}
+	// Third duplicate: fast retransmit fires once.
+	mark := len(out.segs)
+	snd.OnAck(firstSeq)
+	st := snd.Stats()
+	if st.FastRetransmits != 1 {
+		t.Fatalf("fast retransmits = %d, want 1 (stats %+v)", st.FastRetransmits, st)
+	}
+	// The first emission after the trigger is the hole (trySend may
+	// append new data behind it under the inflated window).
+	if seqOf(out.segs[mark]) != firstSeq {
+		t.Fatalf("retransmitted seq %d, want %d", seqOf(out.segs[mark]), firstSeq)
+	}
+	// Full ACK exits recovery.
+	snd.OnAck(snd.sndNxt)
+	if snd.inRec {
+		t.Fatal("still in recovery after full ACK")
+	}
+	if snd.cwnd != snd.ssthresh {
+		t.Fatalf("cwnd = %v, want ssthresh %v on recovery exit", snd.cwnd, snd.ssthresh)
+	}
+}
+
+// TestTCPRTOCollapsesWindow exercises the timeout path: with no ACKs at
+// all, the RTO fires, the head is retransmitted and cwnd drops to one
+// MSS.
+func TestTCPRTOCollapsesWindow(t *testing.T) {
+	s := New()
+	out := &collectSender{}
+	snd, err := NewTCPSender(s, out, TCPConfig{MSS: 1000, RcvWnd: 4000, RTO: 10 * Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd.Start()
+	first := seqOf(out.segs[0])
+	s.Run(50 * Millisecond)
+	st := snd.Stats()
+	if st.Timeouts == 0 {
+		t.Fatal("RTO never fired")
+	}
+	if snd.cwnd != 1000 {
+		t.Fatalf("cwnd = %v after RTO, want one MSS", snd.cwnd)
+	}
+	last := out.segs[len(out.segs)-1]
+	if seqOf(last) != first {
+		t.Fatalf("RTO retransmitted seq %d, want head %d", seqOf(last), first)
+	}
+}
+
+// TestTCPNewRenoPartialAck exercises the partial-ACK path: in recovery,
+// an ACK that advances but does not cover `recover` retransmits the
+// next hole and stays in recovery.
+func TestTCPNewRenoPartialAck(t *testing.T) {
+	s := New()
+	out := &collectSender{}
+	snd, err := NewTCPSender(s, out, TCPConfig{MSS: 1000, RcvWnd: 8000, InitCwnd: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd.Start()
+	if len(out.segs) < 4 {
+		t.Fatalf("only %d segments in flight", len(out.segs))
+	}
+	seq0 := seqOf(out.segs[0])
+	seq1 := seqOf(out.segs[1])
+	// Enter recovery.
+	for i := 0; i < 4; i++ {
+		snd.OnAck(seq0)
+	}
+	if !snd.inRec {
+		t.Fatal("not in recovery")
+	}
+	// Partial ACK: covers segment 0 only.
+	before := snd.Stats().FastRetransmits
+	mark := len(out.segs)
+	snd.OnAck(seq1)
+	if !snd.inRec {
+		t.Fatal("left recovery on a partial ACK")
+	}
+	if got := snd.Stats().FastRetransmits; got != before+1 {
+		t.Fatalf("partial ACK retransmits = %d, want %d", got, before+1)
+	}
+	// The first emission after the partial ACK is the next hole;
+	// trySend may append fresh data behind it.
+	if seqOf(out.segs[mark]) != seq1 {
+		t.Fatalf("partial-ACK retransmission at %d, want next hole %d", seqOf(out.segs[mark]), seq1)
+	}
+}
+
+// TestTCPReceiverOOOBuffer checks cumulative-ACK generation and the
+// out-of-order reassembly path.
+func TestTCPReceiverOOOBuffer(t *testing.T) {
+	s := New()
+	snd, _ := NewTCPSender(s, &collectSender{}, TCPConfig{MSS: 1000})
+	recv := NewTCPReceiver(s, snd, TCPConfig{AckDelay: 1})
+	// Intercept ACKs by replacing the sim-delayed call: run the sim
+	// after each packet and read the sender's sndUna? Simpler: observe
+	// through Goodput and Acks.
+	seg := func(seq int64, n int) *packet.Packet {
+		p := packet.NewDataSized(TCPHeaderLen + n)
+		binary.BigEndian.PutUint64(p.Payload[:8], uint64(seq))
+		binary.BigEndian.PutUint32(p.Payload[8:12], uint32(n))
+		return p
+	}
+	recv.OnPacket(seg(0, 100))
+	if recv.Goodput() != 100 {
+		t.Fatalf("goodput = %d", recv.Goodput())
+	}
+	// A gap: 200..300 arrives before 100..200.
+	recv.OnPacket(seg(200, 100))
+	if recv.Goodput() != 100 {
+		t.Fatalf("OOO segment advanced goodput to %d", recv.Goodput())
+	}
+	total, dup := recv.Acks()
+	if total != 2 || dup != 1 {
+		t.Fatalf("acks = %d/%d, want 2/1", total, dup)
+	}
+	// The hole fills: both segments deliver.
+	recv.OnPacket(seg(100, 100))
+	if recv.Goodput() != 300 {
+		t.Fatalf("goodput = %d after fill, want 300", recv.Goodput())
+	}
+	// Stale duplicate is re-ACKed, not double counted.
+	recv.OnPacket(seg(0, 100))
+	if recv.Goodput() != 300 {
+		t.Fatalf("duplicate advanced goodput to %d", recv.Goodput())
+	}
+	// Corrupt length field is ignored.
+	bad := seg(300, 100)
+	binary.BigEndian.PutUint32(bad.Payload[8:12], 999)
+	recv.OnPacket(bad)
+	if recv.Goodput() != 300 {
+		t.Fatal("corrupt segment accepted")
+	}
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"testing"
+
+	"stripe/internal/channel"
+	"stripe/internal/core"
+	"stripe/internal/packet"
+	"stripe/internal/sched"
+	"stripe/internal/trace"
+)
+
+// directPath builds TCP over a single link with the given rate/loss and
+// a near-free CPU, runs for d, and returns goodput in Mb/s.
+func directPath(t *testing.T, rate float64, loss float64, d Time) (*Path, float64) {
+	t.Helper()
+	p, err := BuildTCPPath(PathConfig{
+		Links: []LinkConfig{{RateBps: rate, Delay: 500 * Microsecond, Loss: loss, Seed: 42, Queue: 128}},
+		CPU:   CPUConfig{PerInterrupt: 1 * Microsecond, PerPacket: 1 * Microsecond},
+		TCP:   TCPConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, p.Run(d)
+}
+
+// TestTCPSaturatesCleanLink checks the transport reaches near line rate
+// on a loss-free link.
+func TestTCPSaturatesCleanLink(t *testing.T) {
+	_, mbps := directPath(t, 10e6, 0, 3*Second)
+	if mbps < 8.5 || mbps > 10.1 {
+		t.Fatalf("goodput %.2f Mb/s on a clean 10 Mb/s link", mbps)
+	}
+}
+
+// TestTCPRecoversFromLoss checks retransmission machinery engages and
+// the transfer continues under 2% loss.
+func TestTCPRecoversFromLoss(t *testing.T) {
+	p, mbps := directPath(t, 10e6, 0.02, 3*Second)
+	st := p.Sender.Stats()
+	if st.Retransmits == 0 {
+		t.Fatal("no retransmissions under 2% loss")
+	}
+	if mbps < 2 {
+		t.Fatalf("goodput %.2f Mb/s collapsed under 2%% loss", mbps)
+	}
+	// Goodput counts in-order bytes once: it can never exceed line rate.
+	if mbps > 10.1 {
+		t.Fatalf("goodput %.2f Mb/s exceeds line rate", mbps)
+	}
+}
+
+// displacer is a pathological channel that periodically delays one
+// packet by several packet times — displacement big enough to cross
+// TCP's three-dup-ack threshold, like a slow channel in an
+// unresequenced stripe.
+type displacer struct {
+	sim   *Sim
+	inner channel.Sender
+	n     int
+}
+
+func (w *displacer) Send(p *packet.Packet) error {
+	w.n++
+	if w.n%8 == 1 {
+		w.sim.After(6*Millisecond, func() { _ = w.inner.Send(p) })
+		return nil
+	}
+	return w.inner.Send(p)
+}
+
+// TestTCPReorderingPenalty demonstrates the mechanism behind the
+// logical-reception advantage in Figure 15: persistent reordering
+// triggers duplicate ACKs and spurious fast retransmits, cutting
+// goodput well below the clean-path figure.
+func TestTCPReorderingPenalty(t *testing.T) {
+	build := func(reorder bool) (float64, TCPStats) {
+		s := New()
+		var recv *TCPReceiver
+		host, err := NewHost(s, 1, CPUConfig{PerInterrupt: 1 * Microsecond, PerPacket: 1 * Microsecond},
+			func(nic int, pk *packet.Packet) { recv.OnPacket(pk) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		link, err := NewLink(s, "l", LinkConfig{RateBps: 10e6, Delay: 500 * Microsecond, Queue: 128}, host.NICInput(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var path channel.Sender = link
+		if reorder {
+			path = &displacer{sim: s, inner: link}
+		}
+		snd, err := NewTCPSender(s, path, TCPConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv = NewTCPReceiver(s, snd, TCPConfig{})
+		snd.Start()
+		s.Run(3 * Second)
+		return float64(recv.Goodput()) * 8 / 3e6 / 1, snd.Stats()
+	}
+	clean, _ := build(false)
+	shuffled, st := build(true)
+	if st.DupAcksSeen == 0 || st.FastRetransmits == 0 {
+		t.Fatalf("reordering produced no dup-ack activity: %+v", st)
+	}
+	if shuffled > clean*0.85 {
+		t.Fatalf("reordering penalty too small: %.2f vs %.2f Mb/s", shuffled, clean)
+	}
+}
+
+// stripedPath builds TCP over two links with the given schedule/mode.
+func stripedPath(t *testing.T, rates []float64, quanta []int64, mode core.Mode, d Time) (*Path, float64) {
+	t.Helper()
+	links := make([]LinkConfig, len(rates))
+	for i, r := range rates {
+		links[i] = LinkConfig{RateBps: r, Delay: 500 * Microsecond, Queue: 128, Seed: int64(i)}
+	}
+	p, err := BuildTCPPath(PathConfig{
+		Links:          links,
+		CPU:            CPUConfig{PerInterrupt: 1 * Microsecond, PerPacket: 1 * Microsecond},
+		Sched:          sched.MustSRR(quanta),
+		Mode:           mode,
+		Markers:        core.MarkerPolicy{Every: 2, Position: 0},
+		MarkerInterval: 2 * Millisecond,
+		TCP:            TCPConfig{Sizes: trace.NewBimodal(200, 1000, 0.5, 9)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, p.Run(d)
+}
+
+// TestStripedTCPAggregatesBandwidth is the headline end-to-end check:
+// SRR striping with logical reception over 10+10 Mb/s delivers well
+// above a single link's rate.
+func TestStripedTCPAggregatesBandwidth(t *testing.T) {
+	_, mbps := stripedPath(t, []float64{10e6, 10e6}, []int64{1500, 1500}, core.ModeLogical, 3*Second)
+	if mbps < 15 {
+		t.Fatalf("striped goodput %.2f Mb/s; no aggregation", mbps)
+	}
+	if mbps > 20.2 {
+		t.Fatalf("striped goodput %.2f Mb/s exceeds capacity", mbps)
+	}
+}
+
+// TestLogicalReceptionBeatsNoReseq verifies the Figure 15 ordering
+// between the LR and no-resequencing variants under dissimilar links,
+// where skew-induced reordering is persistent.
+func TestLogicalReceptionBeatsNoReseq(t *testing.T) {
+	quanta, err := sched.QuantaForRates([]float64{10e6, 20e6}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lr := stripedPath(t, []float64{10e6, 20e6}, quanta, core.ModeLogical, 3*Second)
+	_, nr := stripedPath(t, []float64{10e6, 20e6}, quanta, core.ModeNone, 3*Second)
+	if lr <= nr {
+		t.Fatalf("logical reception %.2f Mb/s not above no-reseq %.2f Mb/s", lr, nr)
+	}
+}
+
+// TestStripedTCPSurvivesLinkLoss checks markers keep logical reception
+// alive under loss: without them the receiver would block forever after
+// the first lost packet.
+func TestStripedTCPSurvivesLinkLoss(t *testing.T) {
+	links := []LinkConfig{
+		{RateBps: 10e6, Delay: 500 * Microsecond, Queue: 128, Loss: 0.01, Seed: 5},
+		{RateBps: 10e6, Delay: 500 * Microsecond, Queue: 128, Loss: 0.01, Seed: 6},
+	}
+	p, err := BuildTCPPath(PathConfig{
+		Links:          links,
+		CPU:            CPUConfig{PerInterrupt: 1 * Microsecond, PerPacket: 1 * Microsecond},
+		Sched:          sched.MustSRR([]int64{1500, 1500}),
+		Mode:           core.ModeLogical,
+		Markers:        core.MarkerPolicy{Every: 8, Position: 0},
+		MarkerInterval: 2 * Millisecond,
+		TCP:            TCPConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbps := p.Run(3 * Second)
+	if mbps < 3 {
+		t.Fatalf("goodput %.2f Mb/s; receiver appears wedged", mbps)
+	}
+	if p.Reseq.Stats().Resyncs == 0 {
+		t.Fatal("no marker resynchronizations under loss")
+	}
+}
+
+// TestPathValidation covers config errors.
+func TestPathValidation(t *testing.T) {
+	if _, err := BuildTCPPath(PathConfig{}); err == nil {
+		t.Error("no links accepted")
+	}
+	if _, err := BuildTCPPath(PathConfig{Links: make([]LinkConfig, 2)}); err == nil {
+		t.Error("multi-link without scheduler accepted")
+	}
+	if _, err := BuildTCPPath(PathConfig{
+		Links: []LinkConfig{{RateBps: 1e6}},
+		Sched: sched.MustSRR([]int64{1, 2}),
+	}); err == nil {
+		t.Error("scheduler/link mismatch accepted")
+	}
+	if _, err := NewTCPSender(New(), nil, TCPConfig{}); err == nil {
+		t.Error("nil path accepted")
+	}
+}
+
+// TestSequenceModeStripedTCP runs the "with header" variant under TCP:
+// explicit sequence numbers give exact resequencing, so goodput lands
+// in the same band as logical reception and far above no-reseq.
+func TestSequenceModeStripedTCP(t *testing.T) {
+	quanta, err := sched.QuantaForRates([]float64{10e6, 20e6}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, seq := stripedPath(t, []float64{10e6, 20e6}, quanta, core.ModeSequence, 3*Second)
+	_, lr := stripedPath(t, []float64{10e6, 20e6}, quanta, core.ModeLogical, 3*Second)
+	_, nr := stripedPath(t, []float64{10e6, 20e6}, quanta, core.ModeNone, 3*Second)
+	if seq < lr*0.85 {
+		t.Fatalf("sequence mode %.2f Mb/s far below logical reception %.2f", seq, lr)
+	}
+	if seq <= nr {
+		t.Fatalf("sequence mode %.2f Mb/s not above no-reseq %.2f", seq, nr)
+	}
+}

@@ -1,0 +1,264 @@
+// Package stats provides the measurement machinery the experiments use:
+// reordering metrics over delivered packet IDs, throughput accounting,
+// fairness indices, and small table/series formatters for regenerating
+// the paper's figures as text.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Reorder summarises how far a delivered sequence deviates from FIFO.
+type Reorder struct {
+	// Delivered is the number of packets observed.
+	Delivered int
+	// OutOfOrder counts deliveries whose ID is smaller than some
+	// earlier-delivered ID (late packets), the metric the paper's
+	// Section 6.3 experiments report.
+	OutOfOrder int
+	// Inversions counts pairs delivered in the wrong relative order; it
+	// grows quadratically with the severity of a shuffle and is useful
+	// for comparing schemes, not absolute damage.
+	Inversions int64
+	// MaxDisplacement is the largest |delivery position − ID rank|.
+	MaxDisplacement int
+}
+
+// OutOfOrderFraction returns OutOfOrder / Delivered, or 0 when empty.
+func (r Reorder) OutOfOrderFraction() float64 {
+	if r.Delivered == 0 {
+		return 0
+	}
+	return float64(r.OutOfOrder) / float64(r.Delivered)
+}
+
+// AnalyzeOrder computes reordering metrics for a delivered ID sequence.
+// IDs need not be contiguous (losses leave gaps); order is judged
+// against the IDs' rank order.
+func AnalyzeOrder(ids []uint64) Reorder {
+	r := Reorder{Delivered: len(ids)}
+	if len(ids) == 0 {
+		return r
+	}
+	// Late packets: ID below the running maximum.
+	var maxSeen uint64
+	hasMax := false
+	for _, id := range ids {
+		if hasMax && id < maxSeen {
+			r.OutOfOrder++
+		}
+		if !hasMax || id > maxSeen {
+			maxSeen = id
+			hasMax = true
+		}
+	}
+	// Rank displacement: position in delivery vs position in sorted
+	// order.
+	ranked := append([]uint64(nil), ids...)
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i] < ranked[j] })
+	rank := make(map[uint64]int, len(ranked))
+	for i, id := range ranked {
+		rank[id] = i
+	}
+	for pos, id := range ids {
+		d := pos - rank[id]
+		if d < 0 {
+			d = -d
+		}
+		if d > r.MaxDisplacement {
+			r.MaxDisplacement = d
+		}
+	}
+	r.Inversions = countInversions(ids)
+	return r
+}
+
+// countInversions uses merge sort for O(n log n).
+func countInversions(ids []uint64) int64 {
+	buf := append([]uint64(nil), ids...)
+	tmp := make([]uint64, len(buf))
+	return mergeCount(buf, tmp)
+}
+
+func mergeCount(a, tmp []uint64) int64 {
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := mergeCount(a[:mid], tmp[:mid]) + mergeCount(a[mid:], tmp[mid:])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if a[i] <= a[j] {
+			tmp[k] = a[i]
+			i++
+		} else {
+			tmp[k] = a[j]
+			inv += int64(mid - i)
+			j++
+		}
+		k++
+	}
+	for i < mid {
+		tmp[k] = a[i]
+		i++
+		k++
+	}
+	for j < n {
+		tmp[k] = a[j]
+		j++
+		k++
+	}
+	copy(a, tmp[:k])
+	return inv
+}
+
+// FirstInOrderSuffix returns the smallest index s such that ids[s:] is
+// strictly increasing — the recovery point after which delivery is FIFO.
+// It returns len(ids) for an empty suffix (never in order).
+func FirstInOrderSuffix(ids []uint64) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	s := len(ids) - 1
+	for s > 0 && ids[s-1] < ids[s] {
+		s--
+	}
+	return s
+}
+
+// JainIndex computes Jain's fairness index over per-channel allocations:
+// (Σx)² / (n·Σx²). It is 1.0 for a perfectly even split and 1/n when one
+// channel carries everything.
+func JainIndex(alloc []int64) float64 {
+	if len(alloc) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range alloc {
+		f := float64(x)
+		sum += f
+		sq += f * f
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(alloc)) * sq)
+}
+
+// MaxImbalance returns the largest pairwise difference between
+// per-channel allocations — the quantity the deterministic fairness
+// definition of Section 3.3 bounds.
+func MaxImbalance(alloc []int64) int64 {
+	if len(alloc) == 0 {
+		return 0
+	}
+	min, max := alloc[0], alloc[0]
+	for _, x := range alloc[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return max - min
+}
+
+// Quantile returns the q-quantile (0..1) of the values using nearest-
+// rank on a sorted copy. Empty input yields 0.
+func Quantile(values []int64, q float64) int64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// Mbps converts bytes transferred over a duration in simulated seconds
+// to megabits per second.
+func Mbps(bytes int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / seconds / 1e6
+}
+
+// Series is one labelled curve of a figure: y values indexed by the
+// shared x axis of a Table.
+type Series struct {
+	Label  string
+	Points []float64
+}
+
+// Table formats experiment output in the row/column shape of the
+// paper's figures: one row per x value, one column per series.
+type Table struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	X       []float64
+	Columns []Series
+}
+
+// AddColumn appends a series; its Points must align with X.
+func (t *Table) AddColumn(label string, points []float64) {
+	t.Columns = append(t.Columns, Series{Label: label, Points: points})
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	if t.YLabel != "" {
+		fmt.Fprintf(&b, "# y: %s\n", t.YLabel)
+	}
+	fmt.Fprintf(&b, "%-16s", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %22s", c.Label)
+	}
+	b.WriteByte('\n')
+	for i, x := range t.X {
+		fmt.Fprintf(&b, "%-16.4g", x)
+		for _, c := range t.Columns {
+			v := math.NaN()
+			if i < len(c.Points) {
+				v = c.Points[i]
+			}
+			fmt.Fprintf(&b, " %22.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Meter accumulates byte counts against a logical clock to report
+// throughput.
+type Meter struct {
+	bytes int64
+}
+
+// Add records n payload bytes.
+func (m *Meter) Add(n int) { m.bytes += int64(n) }
+
+// Bytes returns the total.
+func (m *Meter) Bytes() int64 { return m.bytes }
+
+// RateMbps returns throughput over the given span in seconds.
+func (m *Meter) RateMbps(seconds float64) float64 { return Mbps(m.bytes, seconds) }

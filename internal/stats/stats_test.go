@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnalyzeOrderInOrder(t *testing.T) {
+	r := AnalyzeOrder([]uint64{1, 2, 5, 9})
+	if r.OutOfOrder != 0 || r.Inversions != 0 || r.MaxDisplacement != 0 {
+		t.Fatalf("in-order sequence scored %+v", r)
+	}
+	if r.Delivered != 4 {
+		t.Fatalf("Delivered = %d", r.Delivered)
+	}
+}
+
+func TestAnalyzeOrderEmpty(t *testing.T) {
+	r := AnalyzeOrder(nil)
+	if r.Delivered != 0 || r.OutOfOrderFraction() != 0 {
+		t.Fatalf("empty sequence scored %+v", r)
+	}
+}
+
+func TestAnalyzeOrderKnownShuffle(t *testing.T) {
+	// 3 arrives after 5 and 4: one late... (3 < max 5); 4 also late
+	// relative to 5. Sequence: 1,5,4,3 -> late: 5>1 no; 4<5 yes; 3<5 yes.
+	r := AnalyzeOrder([]uint64{1, 5, 4, 3})
+	if r.OutOfOrder != 2 {
+		t.Fatalf("OutOfOrder = %d, want 2", r.OutOfOrder)
+	}
+	// Inversions: (5,4), (5,3), (4,3) = 3.
+	if r.Inversions != 3 {
+		t.Fatalf("Inversions = %d, want 3", r.Inversions)
+	}
+	// Ranks: 1->0, 3->1, 4->2, 5->3. Positions: 1@0, 5@1, 4@2, 3@3.
+	// Displacements: 0, |1-3|=2, 0, |3-1|=2.
+	if r.MaxDisplacement != 2 {
+		t.Fatalf("MaxDisplacement = %d, want 2", r.MaxDisplacement)
+	}
+	if f := r.OutOfOrderFraction(); f != 0.5 {
+		t.Fatalf("fraction = %v, want 0.5", f)
+	}
+}
+
+// TestInversionsMatchesBruteForce cross-checks the merge-sort counter
+// against the O(n^2) definition.
+func TestInversionsMatchesBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		ids := make([]uint64, n)
+		for i := range ids {
+			ids[i] = uint64(rng.Intn(100))
+		}
+		var brute int64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if ids[i] > ids[j] {
+					brute++
+				}
+			}
+		}
+		return AnalyzeOrder(ids).Inversions == brute
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstInOrderSuffix(t *testing.T) {
+	for _, tc := range []struct {
+		ids  []uint64
+		want int
+	}{
+		{nil, 0},
+		{[]uint64{1, 2, 3}, 0},
+		{[]uint64{3, 1, 2}, 1},
+		{[]uint64{5, 4, 3}, 2},
+		{[]uint64{1, 3, 2, 4, 5, 6}, 2},
+	} {
+		if got := FirstInOrderSuffix(tc.ids); got != tc.want {
+			t.Errorf("FirstInOrderSuffix(%v) = %d, want %d", tc.ids, got, tc.want)
+		}
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]int64{100, 100, 100}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("even split index = %v", got)
+	}
+	if got := JainIndex([]int64{300, 0, 0}); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("single-channel index = %v, want 1/3", got)
+	}
+	if got := JainIndex(nil); got != 0 {
+		t.Fatalf("empty index = %v", got)
+	}
+	if got := JainIndex([]int64{0, 0}); got != 1 {
+		t.Fatalf("all-zero index = %v, want 1", got)
+	}
+}
+
+func TestMaxImbalance(t *testing.T) {
+	if got := MaxImbalance([]int64{5, 9, 7}); got != 4 {
+		t.Fatalf("imbalance = %d, want 4", got)
+	}
+	if got := MaxImbalance(nil); got != 0 {
+		t.Fatalf("empty imbalance = %d", got)
+	}
+}
+
+func TestMbps(t *testing.T) {
+	if got := Mbps(1250000, 1); got != 10 {
+		t.Fatalf("Mbps = %v, want 10", got)
+	}
+	if got := Mbps(100, 0); got != 0 {
+		t.Fatalf("zero-span Mbps = %v", got)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	m.Add(625000)
+	m.Add(625000)
+	if m.Bytes() != 1250000 {
+		t.Fatalf("Bytes = %d", m.Bytes())
+	}
+	if got := m.RateMbps(1); got != 10 {
+		t.Fatalf("RateMbps = %v", got)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := Table{
+		Title:  "Figure X",
+		XLabel: "loss%",
+		YLabel: "out-of-order",
+		X:      []float64{0, 10, 20},
+	}
+	tb.AddColumn("srr", []float64{0, 1, 2})
+	tb.AddColumn("rr", []float64{0, 3, 6})
+	s := tb.String()
+	for _, want := range []string{"Figure X", "loss%", "srr", "rr", "6.0000"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table output missing %q:\n%s", want, s)
+		}
+	}
+	// A short column renders NaN rather than panicking.
+	tb.AddColumn("short", []float64{1})
+	if s := tb.String(); !strings.Contains(s, "NaN") {
+		t.Fatalf("short column did not render NaN:\n%s", s)
+	}
+}
+
+// TestAnalyzeOrderRandomPermutationConsistency checks internal
+// consistency on random permutations: a fully sorted copy has no
+// inversions, and metrics are non-negative.
+func TestAnalyzeOrderRandomPermutationConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ids := make([]uint64, 500)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	r := AnalyzeOrder(ids)
+	if r.OutOfOrder <= 0 || r.Inversions <= 0 {
+		t.Fatalf("shuffled sequence scored %+v", r)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	r = AnalyzeOrder(ids)
+	if r.OutOfOrder != 0 || r.Inversions != 0 {
+		t.Fatalf("sorted sequence scored %+v", r)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []int64{5, 1, 9, 3, 7}
+	if got := Quantile(vals, 0); got != 1 {
+		t.Fatalf("q0 = %d", got)
+	}
+	if got := Quantile(vals, 0.5); got != 5 {
+		t.Fatalf("q50 = %d", got)
+	}
+	if got := Quantile(vals, 1); got != 9 {
+		t.Fatalf("q100 = %d", got)
+	}
+	if got := Quantile(vals, 0.99); got != 9 {
+		t.Fatalf("q99 = %d", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %d", got)
+	}
+	// Input must be untouched.
+	if vals[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+}

@@ -1,0 +1,179 @@
+// Package stripenet implements the paper's Section 6.1 architectural
+// framework: transparent striping of IP packets across multiple data
+// link interfaces via a virtual "strIPe" interface that sits between IP
+// and the real interfaces.
+//
+// The model mirrors the paper's NetBSD arrangement:
+//
+//   - Hosts run a small IP layer with a routing table in which host
+//     routes override network routes. Pointing the host routes for the
+//     receiver's addresses at the strIPe interface diverts traffic into
+//     the striping layer with no change to IP itself.
+//   - The strIPe interface is an IP convergence layer: on output it runs
+//     the SRR striper over its member links; on input the member links
+//     demultiplex striped frames to the resequencer by a distinct frame
+//     type (the codepoint), and the reassembled FIFO stream is handed
+//     back to IP.
+//   - Data packets (the full IP datagrams) are carried verbatim inside
+//     link frames; markers travel as control frames on the same links.
+//   - The strIPe interface's MTU is the minimum of its members' MTUs,
+//     the restriction the paper notes for any striping scheme that does
+//     not fragment internally.
+//
+// Links here are point-to-point (the convergence/ARP step is the
+// identity); the paper's multi-access Ethernets differ only in needing
+// an address-resolution table, which is orthogonal to striping.
+package stripenet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Addr is an IPv4-style address.
+type Addr [4]byte
+
+// ParseAddr parses dotted-quad notation.
+func ParseAddr(s string) (Addr, error) {
+	var a Addr
+	var parts [4]int
+	n := 0
+	cur := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			if cur < 0 || n >= 4 {
+				return a, fmt.Errorf("stripenet: bad address %q", s)
+			}
+			parts[n] = cur
+			n++
+			cur = -1
+			continue
+		}
+		c := s[i]
+		if c < '0' || c > '9' {
+			return a, fmt.Errorf("stripenet: bad address %q", s)
+		}
+		if cur < 0 {
+			cur = 0
+		}
+		cur = cur*10 + int(c-'0')
+		if cur > 255 {
+			return a, fmt.Errorf("stripenet: bad address %q", s)
+		}
+	}
+	if n != 4 {
+		return a, fmt.Errorf("stripenet: bad address %q", s)
+	}
+	for i := range a {
+		a[i] = byte(parts[i])
+	}
+	return a, nil
+}
+
+// MustAddr is ParseAddr that panics; for literals in tests and examples.
+func MustAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders dotted-quad notation.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// Uint32 returns the address as a big-endian integer (for prefix
+// matching).
+func (a Addr) Uint32() uint32 { return binary.BigEndian.Uint32(a[:]) }
+
+// HeaderLen is the encoded size of the IP-like header.
+const HeaderLen = 20
+
+// Header is a simplified IPv4-style packet header: version/TTL/protocol,
+// total length, an ID field, source and destination addresses, and an
+// internet checksum over the header.
+type Header struct {
+	TTL      uint8
+	Proto    uint8
+	ID       uint16
+	TotalLen uint16
+	Src, Dst Addr
+}
+
+// Errors returned by header decoding and the IP layer.
+var (
+	ErrHeaderTooShort = errors.New("stripenet: header too short")
+	ErrBadChecksum    = errors.New("stripenet: header checksum mismatch")
+	ErrBadVersion     = errors.New("stripenet: bad version")
+	ErrNoRoute        = errors.New("stripenet: no route to host")
+	ErrTooBig         = errors.New("stripenet: packet exceeds interface MTU")
+	ErrTTLExpired     = errors.New("stripenet: TTL expired")
+)
+
+const headerVersion = 4
+
+// Encode appends the header followed by the payload, computing
+// TotalLen and the checksum.
+func (h *Header) Encode(dst []byte, payload []byte) []byte {
+	total := HeaderLen + len(payload)
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderLen)...)
+	b := dst[off:]
+	b[0] = headerVersion<<4 | (HeaderLen / 4)
+	b[1] = 0
+	binary.BigEndian.PutUint16(b[2:4], uint16(total))
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], 0) // flags/fragment: unused
+	b[8] = h.TTL
+	b[9] = h.Proto
+	// checksum at [10:12] computed below
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	binary.BigEndian.PutUint16(b[10:12], internetChecksum(b[:HeaderLen]))
+	return append(dst, payload...)
+}
+
+// DecodeHeader parses and validates a packet's header, returning the
+// header and the payload (aliasing b).
+func DecodeHeader(b []byte) (Header, []byte, error) {
+	var h Header
+	if len(b) < HeaderLen {
+		return h, nil, ErrHeaderTooShort
+	}
+	if b[0]>>4 != headerVersion {
+		return h, nil, ErrBadVersion
+	}
+	if internetChecksum(b[:HeaderLen]) != 0 {
+		return h, nil, ErrBadChecksum
+	}
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	h.TTL = b[8]
+	h.Proto = b[9]
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	if int(h.TotalLen) > len(b) || int(h.TotalLen) < HeaderLen {
+		return h, nil, ErrHeaderTooShort
+	}
+	return h, b[HeaderLen:h.TotalLen], nil
+}
+
+// internetChecksum is the ones-complement sum used by IP. Over a header
+// whose checksum field is zero it yields the checksum; over a header
+// including a valid checksum it yields zero.
+func internetChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,81 @@
+package stripenet
+
+// Address resolution for multi-access segments: the convergence-layer
+// duty the paper assigns below IP ("for Ethernet interfaces, the
+// convergence layer performs ARP"). The exchange is the classic
+// request/reply: who-has <target IP> broadcast, is-at <mac> unicast
+// reply, with opportunistic learning of the requester's mapping.
+
+// ARP operation codes.
+const (
+	arpRequest = 1
+	arpReply   = 2
+)
+
+// arpLen is the encoded ARP body: op, sender IP, sender MAC, target IP,
+// target MAC.
+const arpLen = 1 + 4 + 6 + 4 + 6
+
+func encodeARP(op byte, senderIP Addr, senderMAC LinkAddr, targetIP Addr, targetMAC LinkAddr) []byte {
+	b := make([]byte, arpLen)
+	b[0] = op
+	copy(b[1:5], senderIP[:])
+	copy(b[5:11], senderMAC[:])
+	copy(b[11:15], targetIP[:])
+	copy(b[15:21], targetMAC[:])
+	return b
+}
+
+func decodeARP(b []byte) (op byte, senderIP Addr, senderMAC LinkAddr, targetIP Addr, targetMAC LinkAddr, ok bool) {
+	if len(b) < arpLen {
+		return 0, Addr{}, LinkAddr{}, Addr{}, LinkAddr{}, false
+	}
+	op = b[0]
+	copy(senderIP[:], b[1:5])
+	copy(senderMAC[:], b[5:11])
+	copy(targetIP[:], b[11:15])
+	copy(targetMAC[:], b[15:21])
+	return op, senderIP, senderMAC, targetIP, targetMAC, true
+}
+
+// sendARPRequest broadcasts a who-has for targetIP on NIC n.
+func (h *Host) sendARPRequest(n *NIC, targetIP Addr) {
+	n.transmit(Broadcast, TypeARP, encodeARP(arpRequest, n.addr, n.mac, targetIP, LinkAddr{}))
+}
+
+// handleARP processes a received ARP body on NIC n: learn the sender's
+// mapping, flush any traffic waiting on it, and answer requests aimed
+// at this interface.
+func (h *Host) handleARP(n *NIC, body []byte) {
+	op, senderIP, senderMAC, targetIP, _, ok := decodeARP(body)
+	if !ok {
+		h.drops++
+		return
+	}
+	// Opportunistic learning in both directions.
+	h.learn(n, senderIP, senderMAC)
+
+	if op == arpRequest && targetIP == n.addr {
+		n.transmit(senderMAC, TypeARP, encodeARP(arpReply, n.addr, n.mac, senderIP, senderMAC))
+	}
+}
+
+// learn records a mapping and flushes traffic queued on it.
+func (h *Host) learn(n *NIC, ip Addr, mac LinkAddr) {
+	if h.arp[n.name][ip] == mac {
+		return
+	}
+	h.arp[n.name][ip] = mac
+	queued := h.pending[n.name][ip]
+	if len(queued) == 0 {
+		return
+	}
+	delete(h.pending[n.name], ip)
+	for _, f := range queued {
+		n.transmit(mac, f.typ, f.body)
+	}
+}
+
+// ARPCacheLen reports the number of resolved entries on an interface,
+// for tests.
+func (h *Host) ARPCacheLen(iface string) int { return len(h.arp[iface]) }

@@ -1,0 +1,72 @@
+package stripenet
+
+// IP forwarding: the paper's channel endpoints "could be workstations,
+// switches, routers, or bridges", and a natural deployment stripes the
+// trunk between two routers. Enabling forwarding turns a Host into a
+// router: packets not addressed to a local interface are re-routed out
+// (possibly via a strIPe interface) with the TTL decremented, and
+// routes may name a gateway whose link address is resolved instead of
+// the final destination's.
+
+// EnableForwarding makes the host forward transit packets.
+func (h *Host) EnableForwarding() { h.forwarding = true }
+
+// AddRouteVia installs a route through a gateway on the named
+// interface: matching packets are sent to the gateway's link address
+// rather than resolved per destination.
+func (h *Host) AddRouteVia(dst Addr, prefixLen int, iface string, gateway Addr) error {
+	if err := h.AddRoute(dst, prefixLen, iface); err != nil {
+		return err
+	}
+	h.routes[len(h.routes)-1].Gateway = gateway
+	return nil
+}
+
+// localAddr reports whether ip is one of the host's interface
+// addresses.
+func (h *Host) localAddr(ip Addr) bool {
+	for _, n := range h.nics {
+		if n.addr == ip {
+			return true
+		}
+	}
+	return false
+}
+
+// forward re-routes a transit packet. The header's TTL is decremented
+// and its checksum recomputed (the packet is otherwise untouched; note
+// this is IP behaving normally *above* the striping layer, not the
+// striping layer modifying anything).
+func (h *Host) forward(hdr Header, payload []byte) {
+	if hdr.TTL <= 1 {
+		h.drops++
+		return
+	}
+	r, ok := h.lookup(hdr.Dst)
+	if !ok {
+		h.drops++
+		return
+	}
+	hdr.TTL--
+	pkt := hdr.Encode(nil, payload)
+	if s, ok := h.stripes[r.Iface]; ok {
+		if len(pkt) > s.mtu {
+			h.drops++
+			return
+		}
+		if err := s.output(pkt); err != nil {
+			h.drops++
+		}
+		return
+	}
+	n := h.nics[r.Iface]
+	if len(pkt) > n.mtu {
+		h.drops++
+		return
+	}
+	nextHop := hdr.Dst
+	if r.Gateway != (Addr{}) {
+		nextHop = r.Gateway
+	}
+	h.sendOn(n, nextHop, TypeIP, pkt)
+}

@@ -1,0 +1,149 @@
+package stripenet
+
+import (
+	"fmt"
+	"testing"
+
+	"stripe/internal/channel"
+	"stripe/internal/core"
+)
+
+// buildRoutedTopology wires the deployment the paper's introduction
+// motivates: two sites joined by a striped trunk between routers.
+//
+//	A ---lanA--- R1 ===(2 striped T1-like links)=== R2 ---lanB--- B
+func buildRoutedTopology(t *testing.T, trunkImp channel.Impairments) (a, r1, r2, b *Host) {
+	t.Helper()
+	a, b = NewHost("A"), NewHost("B")
+	r1, r2 = NewHost("R1"), NewHost("R2")
+	r1.EnableForwarding()
+	r2.EnableForwarding()
+
+	// Site LANs.
+	lanA := NewLAN("lanA", channel.Impairments{})
+	lanB := NewLAN("lanB", channel.Impairments{})
+	an, _ := a.AddNIC("eth0", MustAddr("10.1.0.10"), 1500)
+	r1a, _ := r1.AddNIC("eth0", MustAddr("10.1.0.1"), 1500)
+	bn, _ := b.AddNIC("eth0", MustAddr("10.2.0.10"), 1500)
+	r2b, _ := r2.AddNIC("eth0", MustAddr("10.2.0.1"), 1500)
+	for _, att := range []struct {
+		l *LAN
+		n *NIC
+	}{{lanA, an}, {lanA, r1a}, {lanB, bn}, {lanB, r2b}} {
+		if err := att.l.Attach(att.n); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The striped trunk: two point-to-point links between the routers.
+	for i := 0; i < 2; i++ {
+		t1, err := r1.AddNIC(fmt.Sprintf("t%d", i), MustAddr(fmt.Sprintf("192.168.%d.1", i)), 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := r2.AddNIC(fmt.Sprintf("t%d", i), MustAddr(fmt.Sprintf("192.168.%d.2", i)), 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imp := trunkImp
+		imp.Seed = trunkImp.Seed + int64(i*10)
+		Connect(t1, t2, imp)
+	}
+	cfg := StripeConfig{
+		Members: []string{"t0", "t1"},
+		Quanta:  []int64{1500, 1500},
+		Markers: core.MarkerPolicy{Every: 2, Position: 0},
+	}
+	if _, err := r1.AddStripeIface("trunk", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.AddStripeIface("trunk", cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Routing: hosts default to their router; routers reach the remote
+	// site via the striped trunk.
+	if err := a.AddRouteVia(MustAddr("10.2.0.0"), 16, "eth0", MustAddr("10.1.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRouteVia(MustAddr("10.1.0.0"), 16, "eth0", MustAddr("10.2.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.AddRoute(MustAddr("10.2.0.0"), 16, "trunk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.AddRoute(MustAddr("10.1.0.0"), 16, "trunk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.AddRoute(MustAddr("10.1.0.0"), 16, "eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.AddRoute(MustAddr("10.2.0.0"), 16, "eth0"); err != nil {
+		t.Fatal(err)
+	}
+	return a, r1, r2, b
+}
+
+// TestRoutedStripedTrunk sends end-host traffic through two forwarding
+// routers whose interconnect is a striped pair of links: delivery is
+// transparent, in order, TTL-decremented, and load-shared on the trunk.
+func TestRoutedStripedTrunk(t *testing.T) {
+	a, r1, r2, b := buildRoutedTopology(t, channel.Impairments{})
+	var got []int
+	var ttl uint8
+	b.OnReceive(func(hdr Header, payload []byte) {
+		var id int
+		fmt.Sscanf(string(payload), "m-%d", &id)
+		got = append(got, id)
+		ttl = hdr.TTL
+	})
+	const n = 400
+	for i := 0; i < n; i++ {
+		payload := []byte(fmt.Sprintf("m-%d-%s", i, string(make([]byte, i%1200))))
+		if err := a.SendIP(MustAddr("10.1.0.10"), MustAddr("10.2.0.10"), 6, payload); err != nil {
+			t.Fatal(err)
+		}
+		Poll(a, r1, r2, b)
+	}
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d", len(got), n)
+	}
+	for i, id := range got {
+		if id != i {
+			t.Fatalf("delivery %d = packet %d", i, id)
+		}
+	}
+	if ttl != 62 {
+		t.Fatalf("TTL = %d after two router hops, want 62", ttl)
+	}
+	// Both trunk links carried comparable load.
+	b0 := r1.nics["t0"].BytesSent()
+	b1 := r1.nics["t1"].BytesSent()
+	ratio := float64(b0) / float64(b1)
+	if ratio < 0.85 || ratio > 1.18 {
+		t.Fatalf("trunk imbalance: %d vs %d bytes", b0, b1)
+	}
+}
+
+// TestRoutedTrunkRecoversFromLoss adds loss on the trunk links and
+// checks transit traffic keeps flowing with marker resynchronization.
+func TestRoutedTrunkRecoversFromLoss(t *testing.T) {
+	a, r1, r2, b := buildRoutedTopology(t, channel.Impairments{Loss: 0.15, Seed: 5})
+	delivered := 0
+	b.OnReceive(func(Header, []byte) { delivered++ })
+	const n = 1500
+	for i := 0; i < n; i++ {
+		if err := a.SendIP(MustAddr("10.1.0.10"), MustAddr("10.2.0.10"), 6, []byte(fmt.Sprintf("m-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		Poll(a, r1, r2, b)
+	}
+	frac := float64(delivered) / n
+	if frac < 0.75 || frac > 0.95 {
+		t.Fatalf("delivered fraction %.3f under 15%% trunk loss", frac)
+	}
+	st := r2.stripes["trunk"].Stats()
+	if st.Resyncs == 0 {
+		t.Fatal("trunk receiver never resynchronized")
+	}
+}

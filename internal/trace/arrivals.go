@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ArrivalGen produces packet interarrival gaps in nanoseconds, for
+// open-loop (non-TCP) sources in the simulator.
+type ArrivalGen interface {
+	// NextGap returns the time until the next packet, in nanoseconds.
+	NextGap() int64
+}
+
+// CBR emits perfectly periodic arrivals.
+type CBR struct {
+	// GapNs is the constant interarrival time in nanoseconds.
+	GapNs int64
+}
+
+// NextGap implements ArrivalGen.
+func (c CBR) NextGap() int64 { return c.GapNs }
+
+// Poisson emits exponentially distributed interarrival times — the
+// classic open-loop datagram traffic model.
+type Poisson struct {
+	mean float64
+	rng  *rand.Rand
+}
+
+// NewPoisson returns a Poisson process with the given mean interarrival
+// time in nanoseconds.
+func NewPoisson(meanNs float64, seed int64) *Poisson {
+	if meanNs <= 0 {
+		meanNs = 1
+	}
+	return &Poisson{mean: meanNs, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NextGap implements ArrivalGen.
+func (p *Poisson) NextGap() int64 {
+	u := p.rng.Float64()
+	for u == 0 {
+		u = p.rng.Float64()
+	}
+	g := int64(-math.Log(u) * p.mean)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// OnOff alternates between bursts of back-to-back arrivals and idle
+// gaps, a crude model of frame-structured or interactive traffic.
+type OnOff struct {
+	// BurstLen is the number of packets per burst.
+	BurstLen int
+	// InBurstGapNs separates packets inside a burst.
+	InBurstGapNs int64
+	// IdleGapNs separates bursts.
+	IdleGapNs int64
+	i         int
+}
+
+// NextGap implements ArrivalGen.
+func (o *OnOff) NextGap() int64 {
+	o.i++
+	if o.BurstLen > 0 && o.i%o.BurstLen == 0 {
+		return o.IdleGapNs
+	}
+	return o.InBurstGapNs
+}

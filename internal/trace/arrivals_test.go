@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCBR(t *testing.T) {
+	c := CBR{GapNs: 125}
+	for i := 0; i < 10; i++ {
+		if c.NextGap() != 125 {
+			t.Fatal("CBR varied")
+		}
+	}
+}
+
+func TestPoissonMeanAndSpread(t *testing.T) {
+	const mean = 50_000.0
+	p := NewPoisson(mean, 3)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		g := float64(p.NextGap())
+		if g < 1 {
+			t.Fatalf("gap %v < 1", g)
+		}
+		sum += g
+		sumSq += g * g
+	}
+	m := sum / n
+	if math.Abs(m-mean)/mean > 0.02 {
+		t.Fatalf("mean %.0f, want ~%.0f", m, mean)
+	}
+	// Exponential: stddev == mean.
+	sd := math.Sqrt(sumSq/n - m*m)
+	if math.Abs(sd-mean)/mean > 0.05 {
+		t.Fatalf("stddev %.0f, want ~%.0f (exponential)", sd, mean)
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a := NewPoisson(1000, 9)
+	b := NewPoisson(1000, 9)
+	for i := 0; i < 100; i++ {
+		if a.NextGap() != b.NextGap() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestPoissonDegenerateMean(t *testing.T) {
+	p := NewPoisson(-5, 1)
+	if g := p.NextGap(); g < 1 {
+		t.Fatalf("gap %d", g)
+	}
+}
+
+func TestOnOff(t *testing.T) {
+	o := &OnOff{BurstLen: 3, InBurstGapNs: 10, IdleGapNs: 1000}
+	var gaps []int64
+	for i := 0; i < 9; i++ {
+		gaps = append(gaps, o.NextGap())
+	}
+	idle := 0
+	for _, g := range gaps {
+		switch g {
+		case 10:
+		case 1000:
+			idle++
+		default:
+			t.Fatalf("unexpected gap %d", g)
+		}
+	}
+	if idle != 3 {
+		t.Fatalf("%d idle gaps in 9 packets with burst 3, want 3", idle)
+	}
+}

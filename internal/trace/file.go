@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Trace files let workloads be generated once and replayed across
+// experiments (the paper captured NV traces and replayed them through
+// the striping prototype the same way).
+//
+// File layout (big endian):
+//
+//	0   4  magic "STRF"
+//	4   1  version (1)
+//	5   1  kind (1 = packet sizes, 2 = video frames)
+//	6   4  reserved / MTU for video traces
+//	10  4  entry count n
+//	14  4*n entries (sizes in bytes, or frame sizes in bytes)
+
+const (
+	fileMagic   = "STRF"
+	fileVersion = 1
+
+	kindSizes byte = 1
+	kindVideo byte = 2
+)
+
+// Errors returned by trace file parsing.
+var (
+	ErrBadTraceFile = errors.New("trace: not a trace file")
+	ErrBadVersion   = errors.New("trace: unsupported trace version")
+)
+
+func writeFile(path string, kind byte, mtu uint32, entries []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	hdr := make([]byte, 14)
+	copy(hdr[0:4], fileMagic)
+	hdr[4] = fileVersion
+	hdr[5] = kind
+	binary.BigEndian.PutUint32(hdr[6:10], mtu)
+	binary.BigEndian.PutUint32(hdr[10:14], uint32(len(entries)))
+	if _, err := w.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	var buf [4]byte
+	for _, e := range entries {
+		if e < 0 || e > 1<<31-1 {
+			f.Close()
+			return fmt.Errorf("trace: entry %d out of range", e)
+		}
+		binary.BigEndian.PutUint32(buf[:], uint32(e))
+		if _, err := w.Write(buf[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readFile(path string, wantKind byte) (mtu uint32, entries []int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	hdr := make([]byte, 14)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, ErrBadTraceFile
+	}
+	if string(hdr[0:4]) != fileMagic {
+		return 0, nil, ErrBadTraceFile
+	}
+	if hdr[4] != fileVersion {
+		return 0, nil, ErrBadVersion
+	}
+	if hdr[5] != wantKind {
+		return 0, nil, fmt.Errorf("trace: file holds kind %d, want %d", hdr[5], wantKind)
+	}
+	mtu = binary.BigEndian.Uint32(hdr[6:10])
+	n := binary.BigEndian.Uint32(hdr[10:14])
+	if n > 1<<28 {
+		return 0, nil, fmt.Errorf("trace: implausible entry count %d", n)
+	}
+	entries = make([]int, n)
+	var buf [4]byte
+	for i := range entries {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, nil, fmt.Errorf("trace: truncated at entry %d: %w", i, err)
+		}
+		entries[i] = int(binary.BigEndian.Uint32(buf[:]))
+	}
+	return mtu, entries, nil
+}
+
+// SaveSizes writes a packet-size trace.
+func SaveSizes(path string, sizes []int) error {
+	return writeFile(path, kindSizes, 0, sizes)
+}
+
+// LoadSizes reads a packet-size trace.
+func LoadSizes(path string) ([]int, error) {
+	_, sizes, err := readFile(path, kindSizes)
+	return sizes, err
+}
+
+// Replay yields sizes from a recorded trace, cycling at the end so it
+// satisfies SizeGen for arbitrarily long runs.
+type Replay struct {
+	sizes []int
+	max   int
+	i     int
+}
+
+// NewReplay wraps recorded sizes as a generator.
+func NewReplay(sizes []int) (*Replay, error) {
+	if len(sizes) == 0 {
+		return nil, errors.New("trace: empty replay")
+	}
+	max := 0
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("trace: non-positive size %d", s)
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return &Replay{sizes: sizes, max: max}, nil
+}
+
+// LoadReplay opens a size trace as a generator.
+func LoadReplay(path string) (*Replay, error) {
+	sizes, err := LoadSizes(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewReplay(sizes)
+}
+
+// Next implements SizeGen.
+func (r *Replay) Next() int {
+	s := r.sizes[r.i]
+	r.i = (r.i + 1) % len(r.sizes)
+	return s
+}
+
+// Max implements SizeGen.
+func (r *Replay) Max() int { return r.max }
+
+// Len returns the recorded trace length.
+func (r *Replay) Len() int { return len(r.sizes) }
+
+// SaveVideo writes a video trace (frame sizes plus the packetization
+// MTU).
+func SaveVideo(path string, v *VideoTrace) error {
+	return writeFile(path, kindVideo, uint32(v.MTU), v.FrameBytes)
+}
+
+// LoadVideo reads a video trace and re-packetizes it.
+func LoadVideo(path string) (*VideoTrace, error) {
+	mtu, frames, err := readFile(path, kindVideo)
+	if err != nil {
+		return nil, err
+	}
+	if mtu == 0 {
+		return nil, fmt.Errorf("trace: video trace without MTU")
+	}
+	v := &VideoTrace{MTU: int(mtu), FrameBytes: frames}
+	for f, size := range frames {
+		for rem := size; rem > 0; {
+			n := int(mtu)
+			if rem < n {
+				n = rem
+			}
+			rem -= n
+			v.Packets = append(v.Packets, VideoPacket{Frame: f, Size: n, LastOfFrame: rem == 0})
+		}
+	}
+	return v, nil
+}

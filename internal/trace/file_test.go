@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSizesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sizes.strf")
+	want := []int{1, 200, 1500, 64, 9000}
+	if err := SaveSizes(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSizes(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReplayCycles(t *testing.T) {
+	r, err := NewReplay([]int{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 20, 30, 10, 20, 30, 10}
+	for i, w := range want {
+		if got := r.Next(); got != w {
+			t.Fatalf("draw %d = %d, want %d", i, got, w)
+		}
+	}
+	if r.Max() != 30 || r.Len() != 3 {
+		t.Fatalf("Max=%d Len=%d", r.Max(), r.Len())
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := NewReplay(nil); err == nil {
+		t.Error("empty replay accepted")
+	}
+	if _, err := NewReplay([]int{5, 0}); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestVideoFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "video.strf")
+	v, err := SynthesizeVideo(VideoConfig{Frames: 60, GOP: 6, IMean: 6000, PMean: 1200, MTU: 512, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveVideo(path, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadVideo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MTU != v.MTU || len(got.FrameBytes) != len(v.FrameBytes) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Packets) != len(v.Packets) {
+		t.Fatalf("packets %d, want %d", len(got.Packets), len(v.Packets))
+	}
+	for i := range v.Packets {
+		if got.Packets[i] != v.Packets[i] {
+			t.Fatalf("packet %d = %+v, want %+v", i, got.Packets[i], v.Packets[i])
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadSizes(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file loaded")
+	}
+	bad := filepath.Join(dir, "bad")
+	os.WriteFile(bad, []byte("not a trace"), 0o644)
+	if _, err := LoadSizes(bad); err == nil {
+		t.Error("garbage loaded")
+	}
+	// Kind mismatch.
+	sizes := filepath.Join(dir, "sizes.strf")
+	if err := SaveSizes(sizes, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadVideo(sizes); err == nil {
+		t.Error("size trace loaded as video")
+	}
+	// Truncated body.
+	b, _ := os.ReadFile(sizes)
+	trunc := filepath.Join(dir, "trunc.strf")
+	os.WriteFile(trunc, b[:len(b)-3], 0o644)
+	if _, err := LoadSizes(trunc); err == nil {
+		t.Error("truncated trace loaded")
+	}
+	// Bad version.
+	b2 := append([]byte(nil), b...)
+	b2[4] = 99
+	ver := filepath.Join(dir, "ver.strf")
+	os.WriteFile(ver, b2, 0o644)
+	if _, err := LoadSizes(ver); err != ErrBadVersion {
+		t.Errorf("bad version: %v", err)
+	}
+	// Oversized entries rejected on save.
+	if err := SaveSizes(filepath.Join(dir, "neg.strf"), []int{-1}); err == nil {
+		t.Error("negative entry saved")
+	}
+}

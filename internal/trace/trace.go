@@ -1,0 +1,202 @@
+// Package trace generates the workloads of the paper's evaluation:
+// random mixtures of small and large packets (the Figure 15 TCP
+// workload), the deterministic alternating big/small sequence that
+// defeats GRR (Section 6.2), uniform and constant mixes, and a synthetic
+// NV-style video conference trace for the quasi-FIFO tolerance study
+// (Section 6.3).
+//
+// Generators are deterministic under a seed so experiments are exactly
+// reproducible.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SizeGen produces a stream of packet payload sizes.
+type SizeGen interface {
+	// Next returns the next packet size in bytes.
+	Next() int
+	// Max returns the largest size the generator can produce, which the
+	// caller uses to choose quanta satisfying Quantum >= Max.
+	Max() int
+}
+
+// Constant yields a fixed size.
+type Constant int
+
+// Next implements SizeGen.
+func (c Constant) Next() int { return int(c) }
+
+// Max implements SizeGen.
+func (c Constant) Max() int { return int(c) }
+
+// Alternating cycles deterministically through Sizes. With
+// {1000, 200} it is the adversarial workload of Section 6.2: under GRR
+// on two equal channels every big packet lands on one channel and every
+// small packet on the other.
+type Alternating struct {
+	Sizes []int
+	i     int
+}
+
+// Next implements SizeGen.
+func (a *Alternating) Next() int {
+	s := a.Sizes[a.i%len(a.Sizes)]
+	a.i++
+	return s
+}
+
+// Max implements SizeGen.
+func (a *Alternating) Max() int {
+	m := 0
+	for _, s := range a.Sizes {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Uniform yields sizes uniformly in [Min, Max].
+type Uniform struct {
+	MinSize int
+	MaxSize int
+	rng     *rand.Rand
+}
+
+// NewUniform returns a seeded uniform generator.
+func NewUniform(min, max int, seed int64) *Uniform {
+	if max < min {
+		min, max = max, min
+	}
+	return &Uniform{MinSize: min, MaxSize: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements SizeGen.
+func (u *Uniform) Next() int {
+	if u.MaxSize == u.MinSize {
+		return u.MinSize
+	}
+	return u.MinSize + u.rng.Intn(u.MaxSize-u.MinSize+1)
+}
+
+// Max implements SizeGen.
+func (u *Uniform) Max() int { return u.MaxSize }
+
+// Bimodal yields Small with probability PSmall, otherwise Large — the
+// "random mixture of small and large packets" the NetBSD measurements
+// used.
+type Bimodal struct {
+	Small  int
+	Large  int
+	PSmall float64
+	rng    *rand.Rand
+}
+
+// NewBimodal returns a seeded bimodal generator.
+func NewBimodal(small, large int, pSmall float64, seed int64) *Bimodal {
+	return &Bimodal{Small: small, Large: large, PSmall: pSmall, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements SizeGen.
+func (b *Bimodal) Next() int {
+	if b.rng.Float64() < b.PSmall {
+		return b.Small
+	}
+	return b.Large
+}
+
+// Max implements SizeGen.
+func (b *Bimodal) Max() int {
+	if b.Small > b.Large {
+		return b.Small
+	}
+	return b.Large
+}
+
+// VideoConfig synthesizes an NV-like video conference trace. NV (the
+// network video tool the paper captured traces from) sends each frame
+// as a burst of packets at a fixed frame rate, with occasional large
+// intra-coded frames and smaller difference frames.
+type VideoConfig struct {
+	// Frames is the trace length in frames.
+	Frames int
+	// GOP is the intra-frame period: frame i is an I-frame when
+	// i%GOP == 0.
+	GOP int
+	// IMean and PMean are mean frame sizes in bytes for I and P frames;
+	// actual sizes vary ±25% uniformly.
+	IMean, PMean int
+	// MTU is the packetization size; frames are split into MTU-sized
+	// packets with a smaller tail packet.
+	MTU int
+	// Seed drives the size jitter.
+	Seed int64
+}
+
+// VideoPacket is one packet of a packetized video trace.
+type VideoPacket struct {
+	// Frame is the index of the frame this packet belongs to.
+	Frame int
+	// Size is the payload size in bytes.
+	Size int
+	// LastOfFrame marks the frame's final packet.
+	LastOfFrame bool
+}
+
+// VideoTrace is a synthesized video stream.
+type VideoTrace struct {
+	// FrameBytes holds each frame's size in bytes.
+	FrameBytes []int
+	// Packets is the packetized stream in transmission order.
+	Packets []VideoPacket
+	// MTU echoes the packetization size.
+	MTU int
+}
+
+// SynthesizeVideo builds a reproducible NV-like trace.
+func SynthesizeVideo(cfg VideoConfig) (*VideoTrace, error) {
+	if cfg.Frames <= 0 || cfg.GOP <= 0 || cfg.MTU <= 0 {
+		return nil, fmt.Errorf("trace: Frames, GOP and MTU must be positive (got %d, %d, %d)", cfg.Frames, cfg.GOP, cfg.MTU)
+	}
+	if cfg.IMean <= 0 || cfg.PMean <= 0 {
+		return nil, fmt.Errorf("trace: frame size means must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := &VideoTrace{MTU: cfg.MTU, FrameBytes: make([]int, cfg.Frames)}
+	jitter := func(mean int) int {
+		lo := mean * 3 / 4
+		hi := mean * 5 / 4
+		return lo + rng.Intn(hi-lo+1)
+	}
+	for f := 0; f < cfg.Frames; f++ {
+		size := jitter(cfg.PMean)
+		if f%cfg.GOP == 0 {
+			size = jitter(cfg.IMean)
+		}
+		v.FrameBytes[f] = size
+		for rem := size; rem > 0; {
+			n := cfg.MTU
+			if rem < n {
+				n = rem
+			}
+			rem -= n
+			v.Packets = append(v.Packets, VideoPacket{Frame: f, Size: n, LastOfFrame: rem == 0})
+		}
+	}
+	return v, nil
+}
+
+// FrameOfPacket maps a packet index (into Packets) to its frame.
+func (v *VideoTrace) FrameOfPacket(i int) int { return v.Packets[i].Frame }
+
+// PacketsPerFrame returns how many packets each frame was split into.
+func (v *VideoTrace) PacketsPerFrame() []int {
+	n := make([]int, len(v.FrameBytes))
+	for _, p := range v.Packets {
+		n[p.Frame]++
+	}
+	return n
+}

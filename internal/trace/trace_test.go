@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestConstant(t *testing.T) {
+	c := Constant(512)
+	for i := 0; i < 5; i++ {
+		if c.Next() != 512 {
+			t.Fatal("Constant varied")
+		}
+	}
+	if c.Max() != 512 {
+		t.Fatalf("Max = %d", c.Max())
+	}
+}
+
+func TestAlternating(t *testing.T) {
+	a := &Alternating{Sizes: []int{1000, 200}}
+	want := []int{1000, 200, 1000, 200, 1000}
+	for i, w := range want {
+		if got := a.Next(); got != w {
+			t.Fatalf("packet %d size %d, want %d", i, got, w)
+		}
+	}
+	if a.Max() != 1000 {
+		t.Fatalf("Max = %d", a.Max())
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	u := NewUniform(100, 200, 1)
+	for i := 0; i < 1000; i++ {
+		s := u.Next()
+		if s < 100 || s > 200 {
+			t.Fatalf("size %d outside [100,200]", s)
+		}
+	}
+	if u.Max() != 200 {
+		t.Fatalf("Max = %d", u.Max())
+	}
+	// Swapped bounds are normalised.
+	u = NewUniform(300, 100, 1)
+	if u.MinSize != 100 || u.MaxSize != 300 {
+		t.Fatalf("bounds not normalised: %d..%d", u.MinSize, u.MaxSize)
+	}
+	// Degenerate range.
+	u = NewUniform(64, 64, 1)
+	if u.Next() != 64 {
+		t.Fatal("degenerate uniform wrong")
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := NewUniform(1, 1500, 99)
+	b := NewUniform(1, 1500, 99)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestBimodalMix(t *testing.T) {
+	b := NewBimodal(200, 1000, 0.5, 7)
+	var small, large int
+	for i := 0; i < 10000; i++ {
+		switch b.Next() {
+		case 200:
+			small++
+		case 1000:
+			large++
+		default:
+			t.Fatal("unexpected size")
+		}
+	}
+	if small < 4700 || small > 5300 {
+		t.Fatalf("small fraction %d/10000, want ~5000", small)
+	}
+	if b.Max() != 1000 {
+		t.Fatalf("Max = %d", b.Max())
+	}
+	if bb := NewBimodal(1500, 40, 0.5, 1); bb.Max() != 1500 {
+		t.Fatalf("Max with swapped sizes = %d", bb.Max())
+	}
+}
+
+func TestSynthesizeVideo(t *testing.T) {
+	cfg := VideoConfig{Frames: 100, GOP: 10, IMean: 8000, PMean: 2000, MTU: 1024, Seed: 3}
+	v, err := SynthesizeVideo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.FrameBytes) != 100 {
+		t.Fatalf("frames = %d", len(v.FrameBytes))
+	}
+	// I-frames are visibly larger than P-frames on average.
+	var iSum, pSum, iN, pN int
+	for f, b := range v.FrameBytes {
+		if f%10 == 0 {
+			iSum += b
+			iN++
+		} else {
+			pSum += b
+			pN++
+		}
+	}
+	if iSum/iN <= pSum/pN*2 {
+		t.Fatalf("I mean %d not much larger than P mean %d", iSum/iN, pSum/pN)
+	}
+	// Packetization conserves bytes and respects the MTU.
+	perFrame := make([]int, 100)
+	for i, p := range v.Packets {
+		if p.Size <= 0 || p.Size > 1024 {
+			t.Fatalf("packet %d size %d", i, p.Size)
+		}
+		perFrame[p.Frame] += p.Size
+	}
+	for f := range perFrame {
+		if perFrame[f] != v.FrameBytes[f] {
+			t.Fatalf("frame %d packetized to %d bytes, want %d", f, perFrame[f], v.FrameBytes[f])
+		}
+	}
+	// Exactly one LastOfFrame per frame, and it is the frame's final
+	// packet in stream order.
+	last := make([]int, 100)
+	for i, p := range v.Packets {
+		if p.LastOfFrame {
+			last[p.Frame]++
+		}
+		if i > 0 && v.Packets[i-1].Frame > p.Frame {
+			t.Fatal("packets out of frame order")
+		}
+	}
+	for f, n := range last {
+		if n != 1 {
+			t.Fatalf("frame %d has %d LastOfFrame markers", f, n)
+		}
+	}
+	// FrameOfPacket and PacketsPerFrame agree.
+	ppf := v.PacketsPerFrame()
+	count := 0
+	for i := range v.Packets {
+		if v.FrameOfPacket(i) == 0 {
+			count++
+		}
+	}
+	if count != ppf[0] {
+		t.Fatalf("frame 0: FrameOfPacket count %d != PacketsPerFrame %d", count, ppf[0])
+	}
+}
+
+func TestSynthesizeVideoValidation(t *testing.T) {
+	bad := []VideoConfig{
+		{Frames: 0, GOP: 1, IMean: 1, PMean: 1, MTU: 1},
+		{Frames: 1, GOP: 0, IMean: 1, PMean: 1, MTU: 1},
+		{Frames: 1, GOP: 1, IMean: 0, PMean: 1, MTU: 1},
+		{Frames: 1, GOP: 1, IMean: 1, PMean: 0, MTU: 1},
+		{Frames: 1, GOP: 1, IMean: 1, PMean: 1, MTU: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := SynthesizeVideo(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSynthesizeVideoDeterministic(t *testing.T) {
+	cfg := VideoConfig{Frames: 50, GOP: 8, IMean: 6000, PMean: 1500, MTU: 512, Seed: 42}
+	a, _ := SynthesizeVideo(cfg)
+	b, _ := SynthesizeVideo(cfg)
+	if len(a.Packets) != len(b.Packets) {
+		t.Fatal("same seed produced different traces")
+	}
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			t.Fatal("same seed produced different packets")
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package stripe
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"stripe/internal/core"
+	"stripe/internal/flowcontrol"
+	"stripe/internal/packet"
+)
+
+// SessionConfig configures one end of a bidirectional striped
+// connection.
+type SessionConfig struct {
+	// Config is the striping configuration, identical on both ends.
+	Config
+	// CreditWindow, when positive, enables credit-based flow control
+	// with the given per-channel window in bytes: this end grants the
+	// peer credits against its own receive buffers, piggybacked on this
+	// end's periodic markers, exactly as Section 6.3 suggests. Sends
+	// block while the peer's grant is exhausted.
+	CreditWindow int64
+	// MarkerInterval, when positive, cuts marker batches from a timer in
+	// addition to the round-based policy, so markers (and piggybacked
+	// credits) keep flowing when the data stream idles. Default 50ms;
+	// negative disables the timer.
+	MarkerInterval time.Duration
+}
+
+// Session is one end of a duplex striped connection: a Sender for this
+// end's data and a Receiver for the peer's, with markers carrying
+// credits between them. Both directions must use the same number of
+// channels. Safe for concurrent use.
+type Session struct {
+	// One mutex guards both directions: marker processing on the
+	// receive path applies credits to the transmit gate, and marker
+	// emission on the transmit path reads grants from the receive
+	// counters, so split locks would deadlock.
+	mu     sync.Mutex
+	txCond *sync.Cond
+	rxCond *sync.Cond
+	st     *core.Striper
+	gate   *flowcontrol.Gate
+	rs     *core.Resequencer
+	mgr    *flowcontrol.Manager
+
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewSession builds one end over this end's transmit channels. Feed
+// packets received from the peer (on all kinds) to Arrive.
+func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
+	n := len(channels)
+	if len(cfg.Quanta) != n {
+		return nil, errors.New("stripe: Quanta must have one entry per channel")
+	}
+	s := &Session{closed: make(chan struct{})}
+	s.txCond = sync.NewCond(&s.mu)
+	s.rxCond = sync.NewCond(&s.mu)
+
+	// Receive side first: the credit manager reads its drain counters.
+	rcfg := core.ResequencerConfig{
+		Mode: cfg.Mode,
+		N:    n,
+		// Invoked from the receive path with s.mu already held.
+		OnMarker: func(c int, m packet.MarkerBlock) {
+			if m.Credits == 0 || s.gate == nil {
+				return
+			}
+			s.gate.ApplyGrant(c, int64(m.Credits))
+			s.txCond.Broadcast()
+		},
+	}
+	if cfg.Mode == ModeLogical {
+		sc, err := cfg.sched()
+		if err != nil {
+			return nil, err
+		}
+		rcfg.Sched = sc
+	}
+	rs, err := core.NewResequencer(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	s.rs = rs
+
+	scfg := core.StriperConfig{
+		Channels: channels,
+		Markers:  cfg.markers(),
+		AddSeq:   cfg.AddSeq,
+	}
+	scfg.Sched, err = cfg.sched()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CreditWindow > 0 {
+		gate, err := flowcontrol.NewGate(n, cfg.CreditWindow)
+		if err != nil {
+			return nil, err
+		}
+		// Invoked from the transmit path with s.mu already held.
+		mgr, err := flowcontrol.NewManager(n, cfg.CreditWindow, func(c int) int64 {
+			return rs.DeliveredBytesOn(c)
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.gate = gate
+		s.mgr = mgr
+		scfg.Gate = gate
+		scfg.MarkerCredits = func(c int) uint64 { return uint64(mgr.GrantFor(c)) }
+	}
+	st, err := core.NewStriper(scfg)
+	if err != nil {
+		return nil, err
+	}
+	s.st = st
+
+	interval := cfg.MarkerInterval
+	if interval == 0 {
+		interval = 50 * time.Millisecond
+	}
+	if interval > 0 {
+		go s.markerTimer(interval)
+	}
+	return s, nil
+}
+
+func (s *Session) markerTimer(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			s.st.EmitMarkers()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// ErrSessionClosed is returned by Send after Close.
+var ErrSessionClosed = errors.New("stripe: session closed")
+
+// Send stripes one packet toward the peer, blocking while flow control
+// holds the selected channel (credits arrive on the peer's markers).
+func (s *Session) Send(p *Packet) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		select {
+		case <-s.closed:
+			return ErrSessionClosed
+		default:
+		}
+		err := s.st.Send(p)
+		if err != core.ErrGated {
+			return err
+		}
+		s.txCond.Wait()
+	}
+}
+
+// SendBytes stripes a payload.
+func (s *Session) SendBytes(payload []byte) error { return s.Send(Data(payload)) }
+
+// Arrive hands the session a packet received from the peer on channel
+// c (any kind: data, markers with credits, resets).
+func (s *Session) Arrive(c int, p *Packet) {
+	s.mu.Lock()
+	// Apply piggybacked credits immediately rather than when the marker
+	// is consumed in scan order: grants are monotone (ApplyGrant keeps
+	// the max), so reading them early is safe, and it keeps the
+	// transmit side live even when the application is slow to Recv.
+	if s.gate != nil && p.Kind == KindMarker {
+		if m, err := packet.MarkerOf(p); err == nil && m.Credits > 0 && int(m.Channel) == c {
+			s.gate.ApplyGrant(c, int64(m.Credits))
+			s.txCond.Broadcast()
+		}
+	}
+	s.rs.Arrive(c, p)
+	s.mu.Unlock()
+	s.rxCond.Broadcast()
+}
+
+// TryRecv returns the next in-order packet without blocking.
+func (s *Session) TryRecv() (*Packet, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rs.Next()
+}
+
+// Recv blocks for the next in-order packet, or returns nil when the
+// session is closed.
+func (s *Session) Recv() *Packet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if p, ok := s.rs.Next(); ok {
+			return p
+		}
+		select {
+		case <-s.closed:
+			return nil
+		default:
+		}
+		s.rxCond.Wait()
+	}
+}
+
+// EmitMarkers cuts a marker batch (with piggybacked credits) now.
+func (s *Session) EmitMarkers() {
+	s.mu.Lock()
+	s.st.EmitMarkers()
+	s.mu.Unlock()
+}
+
+// Close stops the marker timer and unblocks Send and Recv.
+func (s *Session) Close() {
+	s.once.Do(func() { close(s.closed) })
+	s.txCond.Broadcast()
+	s.rxCond.Broadcast()
+}
+
+// Stats returns this end's receive counters.
+func (s *Session) Stats() core.ResequencerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rs.Stats()
+}
+
+// CreditRemaining reports the unused grant for channel c (0 when flow
+// control is disabled).
+func (s *Session) CreditRemaining(c int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gate == nil {
+		return 0
+	}
+	return s.gate.Remaining(c)
+}

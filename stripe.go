@@ -1,0 +1,288 @@
+package stripe
+
+import (
+	"errors"
+	"sync"
+
+	"stripe/internal/channel"
+	"stripe/internal/core"
+	"stripe/internal/packet"
+	"stripe/internal/sched"
+)
+
+// Packet is the unit of striping. Payloads are carried verbatim in the
+// default (no header) mode.
+type Packet = packet.Packet
+
+// Data builds a data packet around payload without copying.
+func Data(payload []byte) *Packet { return packet.NewData(payload) }
+
+// Kinds, for inspecting packets read directly off channels.
+const (
+	KindData   = packet.Data
+	KindMarker = packet.Marker
+	KindCredit = packet.Credit
+	KindReset  = packet.Reset
+)
+
+// MarkerPolicy controls periodic synchronization markers; see
+// core.MarkerPolicy. Every is in rounds; Position is the channel index
+// the round-robin pointer rests on when the batch is cut.
+type MarkerPolicy = core.MarkerPolicy
+
+// Mode selects the receiver discipline.
+type Mode = core.Mode
+
+// Receive disciplines.
+const (
+	// ModeLogical is the paper's scheme: per-channel buffering plus
+	// simulation of the sender automaton. Quasi-FIFO under loss.
+	ModeLogical = core.ModeLogical
+	// ModeNone delivers in physical arrival order.
+	ModeNone = core.ModeNone
+	// ModeSequence resequences on explicit sequence numbers; requires
+	// Config.AddSeq on the sender.
+	ModeSequence = core.ModeSequence
+)
+
+// ChannelSender is the transmit side of one FIFO channel.
+type ChannelSender = channel.Sender
+
+// ChannelReceiver is the receive side of one FIFO channel.
+type ChannelReceiver = channel.Receiver
+
+// UniformQuanta returns n equal quanta of q bytes each.
+func UniformQuanta(n int, q int64) []int64 { return sched.UniformQuanta(n, q) }
+
+// QuantaForRates derives quanta proportional to channel bandwidths with
+// the smallest at least minQuantum (set it to your maximum packet size).
+func QuantaForRates(rates []float64, minQuantum int64) ([]int64, error) {
+	return sched.QuantaForRates(rates, minQuantum)
+}
+
+// Scheme selects the striping discipline.
+type Scheme uint8
+
+const (
+	// SchemeSRR is Surplus Round Robin: byte-denominated quanta, fair
+	// with variable-length packets. The paper's scheme and the default.
+	SchemeSRR Scheme = iota
+	// SchemeRR is ordinary round robin: one packet per channel per
+	// round, ignoring sizes (Quanta entries are ignored beyond their
+	// count). A baseline.
+	SchemeRR
+	// SchemeGRR is generalized round robin: Quanta are per-round packet
+	// counts approximating a bandwidth ratio. A baseline.
+	SchemeGRR
+)
+
+// Config configures a striped connection. Sender and receiver must use
+// identical Scheme, Quanta and Markers.
+type Config struct {
+	// Scheme is the striping discipline (default SchemeSRR).
+	Scheme Scheme
+	// Quanta are the per-channel SRR quanta in bytes, proportional to
+	// channel bandwidth; each should be at least the maximum packet
+	// size. For SchemeGRR they are per-round packet counts instead.
+	// Required.
+	Quanta []int64
+	// Markers configures periodic resynchronization markers. The zero
+	// value sends markers every 4 rounds at the round boundary, which
+	// suits most uses; set Every to NoMarkers to disable.
+	Markers MarkerPolicy
+	// Mode is the receive discipline (default ModeLogical).
+	Mode Mode
+	// AddSeq stamps explicit sequence numbers on data packets — the
+	// "with header" variant, required for ModeSequence.
+	AddSeq bool
+}
+
+// NoMarkers disables periodic markers when assigned to Markers.Every.
+const NoMarkers = ^uint64(0)
+
+func (c Config) sched() (sched.RoundBased, error) {
+	switch c.Scheme {
+	case SchemeRR:
+		return sched.NewRR(len(c.Quanta))
+	case SchemeGRR:
+		return sched.NewGRR(c.Quanta)
+	default:
+		return sched.NewSRR(c.Quanta)
+	}
+}
+
+func (c Config) markers() MarkerPolicy {
+	m := c.Markers
+	if m.Every == 0 {
+		m = MarkerPolicy{Every: 4, Position: 0}
+	} else if m.Every == NoMarkers {
+		m = MarkerPolicy{}
+	}
+	return m
+}
+
+// Sender stripes a FIFO packet stream across the channels. It is safe
+// for concurrent use.
+type Sender struct {
+	mu sync.Mutex
+	st *core.Striper
+}
+
+// NewSender builds the sending half over the given channels.
+func NewSender(channels []ChannelSender, cfg Config) (*Sender, error) {
+	if len(cfg.Quanta) != len(channels) {
+		return nil, errors.New("stripe: Quanta and channels must have equal length")
+	}
+	s, err := cfg.sched()
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.NewStriper(core.StriperConfig{
+		Sched:    s,
+		Channels: channels,
+		Markers:  cfg.markers(),
+		AddSeq:   cfg.AddSeq,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Sender{st: st}, nil
+}
+
+// Send stripes one packet. The payload is transmitted unmodified.
+func (s *Sender) Send(p *Packet) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Send(p)
+}
+
+// SendBytes stripes a payload.
+func (s *Sender) SendBytes(payload []byte) error { return s.Send(Data(payload)) }
+
+// EmitMarkers cuts a marker batch immediately. Call it from a timer if
+// the stream can go idle, so a stalled sender still resynchronizes the
+// receiver after loss.
+func (s *Sender) EmitMarkers() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.EmitMarkers()
+}
+
+// Reset broadcasts a reset and reinitialises the striping automaton;
+// the receiver discards stale in-flight traffic and both ends restart
+// in the common start state.
+func (s *Sender) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Reset()
+}
+
+// Stats reports sender counters.
+func (s *Sender) Stats() (dataPackets, dataBytes, markers int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.SentData(), s.st.SentBytes(), s.st.SentMarkers()
+}
+
+// SentOn reports the data packets and payload bytes striped onto
+// channel c — the observable half of the fairness bound.
+func (s *Sender) SentOn(c int) (packets, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.SentOn(c)
+}
+
+// Receiver reassembles the FIFO stream. Feed it with Arrive (one pump
+// per channel is the usual shape) and consume with Recv or TryRecv. It
+// is safe for concurrent use.
+type Receiver struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	rs     *core.Resequencer
+	closed bool
+}
+
+// NewReceiver builds the receiving half for n channels.
+func NewReceiver(n int, cfg Config) (*Receiver, error) {
+	if len(cfg.Quanta) != n {
+		return nil, errors.New("stripe: Quanta must have one entry per channel")
+	}
+	rcfg := core.ResequencerConfig{Mode: cfg.Mode, N: n}
+	if cfg.Mode == ModeLogical {
+		s, err := cfg.sched()
+		if err != nil {
+			return nil, err
+		}
+		rcfg.Sched = s
+	}
+	rs, err := core.NewResequencer(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &Receiver{rs: rs}
+	r.cond = sync.NewCond(&r.mu)
+	return r, nil
+}
+
+// Arrive hands the receiver a packet physically received on channel c
+// (data, marker, or any other kind read off the channel).
+func (r *Receiver) Arrive(c int, p *Packet) {
+	r.mu.Lock()
+	r.rs.Arrive(c, p)
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// TryRecv returns the next in-order packet without blocking.
+func (r *Receiver) TryRecv() (*Packet, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rs.Next()
+}
+
+// Recv blocks until the next in-order packet is available or the
+// receiver is closed (nil return).
+func (r *Receiver) Recv() *Packet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if p, ok := r.rs.Next(); ok {
+			return p
+		}
+		if r.closed {
+			return nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// Close unblocks pending Recv calls; subsequent Recv calls drain
+// nothing further once the ordering discipline blocks.
+func (r *Receiver) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// Drain force-flushes everything still buffered, best effort, at end of
+// stream.
+func (r *Receiver) Drain() []*Packet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rs.Drain()
+}
+
+// Buffered reports the packets currently held in per-channel buffers.
+func (r *Receiver) Buffered() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rs.Buffered()
+}
+
+// Stats reports receiver counters.
+func (r *Receiver) Stats() core.ResequencerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rs.Stats()
+}
