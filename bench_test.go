@@ -15,6 +15,7 @@ import (
 	"stripe/internal/channel"
 	"stripe/internal/core"
 	"stripe/internal/harness"
+	"stripe/internal/obs"
 	"stripe/internal/packet"
 	"stripe/internal/sched"
 	"stripe/internal/trace"
@@ -170,5 +171,51 @@ func BenchmarkSenderPublicAPI(b *testing.B) {
 		for _, q := range g.Queues {
 			q.Recv()
 		}
+	}
+}
+
+// BenchmarkInstrumentationOverhead quantifies the cost of the
+// observability layer on the striper hot path: the same stripe loop
+// with no collector, with a collector counting, and with a collector
+// that also fans events out to a ring sink. The nil case is the
+// baseline every uninstrumented user pays (one pointer test); the
+// acceptance bar for the layer is <5% overhead with a collector
+// attached.
+func BenchmarkInstrumentationOverhead(b *testing.B) {
+	for _, name := range []string{"nil", "collector", "collector+sink"} {
+		b.Run(name, func(b *testing.B) {
+			const nch = 4
+			quanta := sched.UniformQuanta(nch, 1500)
+			g := channel.NewGroup(nch, channel.Impairments{})
+			cfg := core.StriperConfig{
+				Sched:    sched.MustSRR(quanta),
+				Channels: g.Senders(),
+				Markers:  core.MarkerPolicy{Every: 4, Position: 0},
+			}
+			switch name {
+			case "collector":
+				cfg.Obs = obs.NewCollector(nch)
+			case "collector+sink":
+				col := obs.NewCollector(nch)
+				col.AddSink(obs.NewRingSink(64))
+				cfg.Obs = col
+			}
+			st, err := core.NewStriper(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, 1000)
+			b.ReportAllocs()
+			b.SetBytes(1000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Send(packet.NewData(payload)); err != nil {
+					b.Fatal(err)
+				}
+				for _, q := range g.Queues {
+					q.Recv()
+				}
+			}
+		})
 	}
 }

@@ -22,6 +22,12 @@ type LocalChannelConfig struct {
 	Loss float64
 	// Seed makes the loss process reproducible.
 	Seed int64
+	// Collector, when non-nil, receives this channel's loss count and
+	// transmit queue depth under channel index Index.
+	Collector *Collector
+	// Index is the channel's index within the stripe, for labeling the
+	// Collector's per-channel metrics.
+	Index int
 }
 
 // LocalChannel is a goroutine-driven in-process FIFO channel. The same
@@ -41,6 +47,8 @@ func NewLocalChannel(cfg LocalChannelConfig) *LocalChannel {
 			Loss: cfg.Loss,
 			Seed: cfg.Seed,
 		},
+		Obs:   cfg.Collector,
+		Index: cfg.Index,
 	})}
 }
 

@@ -3,16 +3,26 @@
 // in FIFO order by logical reception, with optional loss injected on
 // the sending side to show quasi-FIFO behaviour and marker recovery.
 //
-//	stripedemo               # lossless: exact FIFO
-//	stripedemo -loss 0.1     # 10% loss: quasi-FIFO with marker recovery
-//	stripedemo -n 50 -v      # print each delivery
+//	stripedemo                    # lossless: exact FIFO
+//	stripedemo -loss 0.1          # 10% loss: quasi-FIFO with marker recovery
+//	stripedemo -n 50 -v           # print each delivery
+//	stripedemo -metrics :9090     # serve /metrics + /debug/pprof during the run
+//
+// With -metrics the demo serves the runtime observability endpoint
+// (Prometheus text at /metrics, expvar at /debug/vars, pprof under
+// /debug/pprof/) while it runs, prints recent protocol events, and
+// fetches its own /metrics at the end so the counters are visible even
+// without an external curl.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,6 +50,7 @@ func main() {
 		loss    = flag.Float64("loss", 0, "data-packet loss probability")
 		verbose = flag.Bool("v", false, "print each delivery")
 		seed    = flag.Int64("seed", 42, "loss-process seed")
+		metrics = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -47,6 +58,25 @@ func main() {
 	cfg := stripe.Config{
 		Quanta:  stripe.UniformQuanta(nch, 1500),
 		Markers: stripe.MarkerPolicy{Every: 2, Position: 0},
+	}
+
+	var (
+		events *stripe.RingSink
+		srv    *stripe.Server
+	)
+	if *metrics != "" {
+		col := stripe.NewCollector(nch)
+		events = stripe.NewRingSink(64)
+		col.AddSink(events)
+		cfg.Collector = col
+		var err error
+		srv, err = stripe.Serve(*metrics, col)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stripedemo:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics at http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr())
 	}
 
 	sendEnds := make([]stripe.ChannelSender, nch)
@@ -152,4 +182,26 @@ collect:
 		fmt.Println("quasi-FIFO: misordering confined to loss windows; markers restore sync")
 	}
 	_ = order
+
+	if srv != nil {
+		if evs := events.Events(); len(evs) > 0 {
+			fmt.Printf("\nlast %d protocol events:\n", len(evs))
+			for _, e := range evs {
+				fmt.Printf("  %s\n", e)
+			}
+		}
+		fmt.Printf("\nself-scrape of http://%s/metrics (stripe_* samples):\n", srv.Addr())
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stripedemo:", err)
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "stripe_") {
+				fmt.Println("  " + line)
+			}
+		}
+	}
 }

@@ -28,6 +28,46 @@
 // perfect FIFO without loss, quasi-FIFO under loss, resynchronizing
 // within roughly one marker period after losses stop.
 //
+// # Counters
+//
+// Sender.Stats and Session.SendStats return SenderStats, the
+// transmit-side counters: DataPackets and DataBytes (data striped so
+// far), Markers (marker packets cut), Round and Epoch (the SRR
+// automaton position), and PerChannel ([]ChannelLoad with Packets and
+// Bytes per channel — the raw material of the fairness claim).
+// Receiver.Stats and Session.Stats return ReceiverStats, the
+// receive-side mirror: Delivered and DeliveredBytes (in-order data
+// handed to the application), Markers and BadMarkers (consumed vs
+// dropped-as-corrupt), Resyncs (markers that actually changed receiver
+// state), Skips (channel visits skipped under the r_c > G rule),
+// Resets and OldEpochDrops (epoch resets and packets discarded while
+// waiting one out), SelfHeals (state adopted wholesale from uniformly
+// newer markers), and FastForwards (rounds advanced while every
+// channel was skip-listed).
+//
+// # Observability
+//
+// For continuous monitoring, attach a Collector:
+//
+//	col := stripe.NewCollector(4) // or NewNamedCollector("tx", 4)
+//	cfg := stripe.Config{Quanta: stripe.UniformQuanta(4, 1500), Collector: col}
+//	srv, _ := stripe.Serve("127.0.0.1:9090", col)
+//	defer srv.Close()
+//	// curl http://127.0.0.1:9090/metrics
+//
+// The collector keeps per-channel packet/byte/marker/recovery counters,
+// a packet-displacement histogram, and a live fairness gauge — the
+// observed max_i |K·Quantum_i − bytes_i| next to the Theorem 3.2 bound
+// Max + 2·Quantum. Serve exposes everything as Prometheus text on
+// /metrics, expvar JSON on /debug/vars, and the standard pprof
+// profiles on /debug/pprof/. Read it in-process with Snapshot (on the
+// Collector or on the Sender/Receiver/Session it is attached to), or
+// subscribe to discrete protocol transitions (resync, skip, reset,
+// self-heal, fast-forward, credit exhaustion) with Collector.AddSink —
+// NewRingSink keeps the last n events, NewWriterSink logs one line
+// each. All of it is nil-safe: with no Collector configured the hot
+// path pays a single pointer test.
+//
 // The internal packages implement every substrate of the paper's
 // evaluation (schedulers, impaired channels, the strIPe IP framework, a
 // discrete-event simulator with a Reno-style TCP, baselines, and the

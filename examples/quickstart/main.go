@@ -76,7 +76,7 @@ func main() {
 	}
 	pumps.Wait()
 
-	data, bytes, markers := tx.Stats()
+	st := tx.Stats()
 	fmt.Printf("\nsent %d packets (%d bytes) + %d markers over %d channels; all FIFO\n",
-		data, bytes, markers, nch)
+		st.DataPackets, st.DataBytes, st.Markers, nch)
 }

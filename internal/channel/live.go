@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"stripe/internal/obs"
 	"stripe/internal/packet"
 )
 
@@ -23,6 +24,12 @@ type LiveConfig struct {
 	Impairments Impairments
 	// Buffer is the transmit queue depth in packets (default 1024).
 	Buffer int
+	// Obs, when non-nil, receives channel loss counts and transmit
+	// queue depth for channel index Index.
+	Obs *obs.Collector
+	// Index is this channel's index within the stripe, used to label
+	// the collector's per-channel metrics.
+	Index int
 }
 
 // Live is a goroutine-driven FIFO channel that delivers packets after a
@@ -105,6 +112,7 @@ func (l *Live) pump() {
 					}
 				}
 			}
+			l.cfg.Obs.SetChannelQueueDepth(l.cfg.Index, int64(len(l.in)))
 			lost, corrupted := q.lose()
 			if lost || corrupted {
 				l.mu.Lock()
@@ -114,6 +122,7 @@ func (l *Live) pump() {
 					l.stats.Corrupted++
 				}
 				l.mu.Unlock()
+				l.cfg.Obs.OnChannelLost(l.cfg.Index)
 				continue
 			}
 			release := txFree.Add(l.cfg.Delay)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"stripe/internal/obs"
 	"stripe/internal/packet"
 	"stripe/internal/sched"
 )
@@ -58,6 +59,11 @@ type ResequencerConfig struct {
 	// sane configurations. Zero selects the default; negative disables
 	// self-healing.
 	SelfHealGap int64
+	// Obs, when non-nil, receives per-channel metrics and protocol
+	// events (resync, skip, reset, self-heal, fast-forward). A nil
+	// collector disables instrumentation at the cost of one pointer
+	// test per packet.
+	Obs *obs.Collector
 }
 
 // ResequencerStats counts receiver events.
@@ -71,6 +77,7 @@ type ResequencerStats struct {
 	Resets         int64 // epoch resets applied
 	OldEpochDrops  int64 // packets discarded while waiting out a reset
 	SelfHeals      int64 // self-stabilization events (state adopted from markers)
+	FastForwards   int64 // round fast-forwards while every channel was skip-listed
 }
 
 // Resequencer is the receiver engine. Drive it by pushing packets from
@@ -102,6 +109,11 @@ type Resequencer struct {
 	// Per-channel delivered byte counts, used by credit-based flow
 	// control to compute cumulative grants.
 	deliveredOn []int64
+	obs         *obs.Collector
+	// maxSeenID tracks the highest striper-assigned packet ID delivered
+	// so far; a delivery below it is late by the difference, which is
+	// the reordering displacement the collector histograms.
+	maxSeenID int64
 
 	// Self-stabilization state (Section 5's closing remark). A marker
 	// whose round is *behind* the receiver's global round is "stale".
@@ -144,12 +156,17 @@ func NewResequencer(cfg ResequencerConfig) (*Resequencer, error) {
 	case cfg.SelfHealGap < 0:
 		healGap = 0
 	}
+	if cfg.Obs != nil && cfg.Obs.N() != n {
+		return nil, fmt.Errorf("core: collector sized for %d channels, want %d", cfg.Obs.N(), n)
+	}
 	rr := &Resequencer{
 		mode:         cfg.Mode,
 		s:            cfg.Sched,
 		cs:           cs,
 		n:            n,
 		healGap:      healGap,
+		obs:          cfg.Obs,
+		maxSeenID:    -1,
 		bufs:         make([]pktFIFO, n),
 		expect:       make([]uint64, n),
 		marked:       make([]bool, n),
@@ -190,6 +207,13 @@ func (r *Resequencer) Buffered() int {
 // Arrive accepts a packet physically received on channel c. Packets are
 // buffered; ordering decisions happen in Next.
 func (r *Resequencer) Arrive(c int, p *packet.Packet) {
+	r.arrive(c, p)
+	if r.obs != nil {
+		r.obs.SetBuffered(int64(r.Buffered()))
+	}
+}
+
+func (r *Resequencer) arrive(c int, p *packet.Packet) {
 	if c < 0 || c >= r.n {
 		return // unknown channel: drop defensively
 	}
@@ -203,6 +227,7 @@ func (r *Resequencer) Arrive(c int, p *packet.Packet) {
 			}
 		} else {
 			r.stats.OldEpochDrops++
+			r.obs.OnOldEpochDrops(1)
 		}
 		return
 	}
@@ -213,15 +238,18 @@ func (r *Resequencer) Arrive(c int, p *packet.Packet) {
 			// In arrival-order mode delivery is immediate, so the drain
 			// accounting used by flow control happens here.
 			r.deliveredOn[c] += int64(p.Len())
+			r.noteDelivered(c, p)
 			r.arrivq.push(p)
 		case packet.Marker:
 			if m, err := packet.MarkerOf(p); err == nil {
 				r.stats.Markers++
+				r.obs.OnMarkerConsumed(c)
 				if r.onMarker != nil {
 					r.onMarker(c, m)
 				}
 			} else {
 				r.stats.BadMarkers++
+				r.obs.OnBadMarker()
 			}
 		case packet.Reset:
 			r.applyReset(c, p)
@@ -229,6 +257,23 @@ func (r *Resequencer) Arrive(c int, p *packet.Packet) {
 	default:
 		r.bufs[c].push(p)
 	}
+}
+
+// noteDelivered records a delivery with the observability layer. It
+// does not touch the ResequencerStats counters; callers keep their
+// existing accounting (ModeNone, notably, counts delivery at Arrive
+// time and never increments stats.Delivered).
+func (r *Resequencer) noteDelivered(c int, p *packet.Packet) {
+	if r.obs == nil {
+		return
+	}
+	var disp int64
+	if id := int64(p.ID); id >= r.maxSeenID {
+		r.maxSeenID = id
+	} else {
+		disp = r.maxSeenID - id
+	}
+	r.obs.OnDelivered(c, p.Len(), disp)
 }
 
 // WaitingOn returns the channel logical reception is blocked on. It is
@@ -246,6 +291,14 @@ func (r *Resequencer) WaitingOn() int {
 // Next returns the next packet in delivery order, or false if the
 // receiver must wait for more arrivals.
 func (r *Resequencer) Next() (*packet.Packet, bool) {
+	p, ok := r.next()
+	if r.obs != nil {
+		r.obs.SetBuffered(int64(r.Buffered()))
+	}
+	return p, ok
+}
+
+func (r *Resequencer) next() (*packet.Packet, bool) {
 	switch r.mode {
 	case ModeNone:
 		return r.arrivq.pop()
@@ -273,11 +326,13 @@ func (r *Resequencer) nextCausal() (*packet.Packet, bool) {
 			r.bufs[c].pop()
 			if m, err := packet.MarkerOf(p); err == nil {
 				r.stats.Markers++
+				r.obs.OnMarkerConsumed(c)
 				if r.onMarker != nil {
 					r.onMarker(c, m)
 				}
 			} else {
 				r.stats.BadMarkers++
+				r.obs.OnBadMarker()
 			}
 		case packet.Reset:
 			r.bufs[c].pop()
@@ -290,6 +345,7 @@ func (r *Resequencer) nextCausal() (*packet.Packet, bool) {
 			r.stats.Delivered++
 			r.stats.DeliveredBytes += int64(p.Len())
 			r.deliveredOn[c] += int64(p.Len())
+			r.noteDelivered(c, p)
 			return p, true
 		}
 	}
@@ -298,6 +354,7 @@ func (r *Resequencer) nextCausal() (*packet.Packet, bool) {
 func (r *Resequencer) skipRule(c int) bool {
 	if r.marked[c] && r.expect[c] > r.s.Round() {
 		r.stats.Skips++
+		r.obs.OnSkip(c, r.s.Round())
 		return true
 	}
 	return false
@@ -321,7 +378,10 @@ func (r *Resequencer) maybeFastForward() {
 			have = true
 		}
 	}
+	from := r.s.Round()
 	r.s.AdvanceRoundTo(min)
+	r.stats.FastForwards++
+	r.obs.OnFastForward(from, min)
 }
 
 func (r *Resequencer) nextLogical() (*packet.Packet, bool) {
@@ -340,9 +400,11 @@ func (r *Resequencer) nextLogical() (*packet.Packet, bool) {
 			m, err := packet.MarkerOf(p)
 			if err != nil {
 				r.stats.BadMarkers++
+				r.obs.OnBadMarker()
 				continue
 			}
 			r.stats.Markers++
+			r.obs.OnMarkerConsumed(c)
 			if r.onMarker != nil {
 				r.onMarker(c, m)
 			}
@@ -359,6 +421,7 @@ func (r *Resequencer) nextLogical() (*packet.Packet, bool) {
 			r.stats.Delivered++
 			r.stats.DeliveredBytes += int64(p.Len())
 			r.deliveredOn[c] += int64(p.Len())
+			r.noteDelivered(c, p)
 			return p, true
 		}
 	}
@@ -374,6 +437,7 @@ func (r *Resequencer) applyMarker(c int, m packet.MarkerBlock) {
 	// than corrupting another channel's state.
 	if int(m.Channel) != c {
 		r.stats.BadMarkers++
+		r.obs.OnBadMarker()
 		return
 	}
 	g := r.s.Round()
@@ -390,6 +454,7 @@ func (r *Resequencer) applyMarker(c int, m packet.MarkerBlock) {
 		}
 		if !r.marked[c] || r.expect[c] != m.Round {
 			r.stats.Resyncs++
+			r.obs.OnResync(c, m.Round, m.Deficit)
 		}
 		r.marked[c] = true
 		r.expect[c] = m.Round
@@ -403,6 +468,7 @@ func (r *Resequencer) applyMarker(c int, m packet.MarkerBlock) {
 		}
 		if r.s.Deficit(c) != d {
 			r.stats.Resyncs++
+			r.obs.OnResync(c, m.Round, d)
 			r.s.SetDeficit(c, d)
 		}
 		r.marked[c] = true
@@ -476,6 +542,7 @@ func (r *Resequencer) selfHeal() {
 	}
 	r.stats.SelfHeals++
 	r.stats.Resyncs++
+	r.obs.OnSelfHeal(min)
 	r.clearStale()
 }
 
@@ -500,6 +567,7 @@ scan:
 					r.stats.Delivered++
 					r.stats.DeliveredBytes += int64(p.Len())
 					r.deliveredOn[c] += int64(p.Len())
+					r.noteDelivered(c, p)
 					return p, true
 				}
 				if p.Seq == r.nextSeq {
@@ -508,6 +576,7 @@ scan:
 					r.stats.Delivered++
 					r.stats.DeliveredBytes += int64(p.Len())
 					r.deliveredOn[c] += int64(p.Len())
+					r.noteDelivered(c, p)
 					return p, true
 				}
 				if minCh == -1 || p.Seq < minSeq {
@@ -518,11 +587,13 @@ scan:
 				r.bufs[c].pop()
 				if m, err := packet.MarkerOf(p); err == nil {
 					r.stats.Markers++
+					r.obs.OnMarkerConsumed(c)
 					if r.onMarker != nil {
 						r.onMarker(c, m)
 					}
 				} else {
 					r.stats.BadMarkers++
+					r.obs.OnBadMarker()
 				}
 				continue scan
 			case packet.Reset:
@@ -546,6 +617,7 @@ scan:
 		// Every channel has a data head and all exceed nextSeq: the gap
 		// [nextSeq, minSeq) was lost. Declare it and resume at minSeq.
 		r.stats.Resyncs++
+		r.obs.OnResync(minCh, 0, int64(minSeq))
 		r.nextSeq = minSeq
 	}
 }
@@ -558,6 +630,7 @@ func (r *Resequencer) applyReset(c int, p *packet.Packet) {
 	r.epoch = e
 	r.resetting = true
 	r.stats.Resets++
+	r.obs.OnReset(e)
 	for i := range r.passed {
 		r.passed[i] = false
 		r.marked[i] = false
@@ -589,6 +662,7 @@ func (r *Resequencer) applyReset(c int, p *packet.Packet) {
 				break
 			}
 			r.stats.OldEpochDrops++
+			r.obs.OnOldEpochDrops(1)
 		}
 	}
 	if r.allPassed() {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"stripe/internal/channel"
+	"stripe/internal/obs"
 	"stripe/internal/packet"
 	"stripe/internal/sched"
 )
@@ -49,6 +50,10 @@ type StriperConfig struct {
 	// *reverse* direction's channel c — the paper's observation that
 	// credits piggyback naturally on the periodic marker traffic.
 	MarkerCredits func(c int) uint64
+	// Obs, when non-nil, receives per-channel metrics and protocol
+	// events. A nil collector disables instrumentation at the cost of
+	// one pointer test per packet.
+	Obs *obs.Collector
 }
 
 // Gate is the hook the credit-based flow controller plugs into.
@@ -80,6 +85,7 @@ type Striper struct {
 	addSeq        bool
 	gate          Gate
 	markerCredits func(c int) uint64
+	obs           *obs.Collector
 	nextMark      uint64 // round at/after which the next marker batch is due
 	nextSeq       uint64
 	nextID        uint64
@@ -92,7 +98,17 @@ type Striper struct {
 	sentMarkers int64
 	sentOn      []int64 // data bytes per channel
 	sentPktsOn  []int64 // data packets per channel
+
+	// Observability batching: the hot path only touches these plain
+	// fields; SyncObs publishes them to the collector's atomics at
+	// marker cadence (or every obsFlushEvery packets as a backstop).
+	obsMaxLen int
+	obsLag    int
 }
+
+// obsFlushEvery bounds how many packets the collector's counters may
+// lag behind the striper when markers are infrequent or disabled.
+const obsFlushEvery = 64
 
 // NewStriper validates the configuration and returns a sender engine.
 func NewStriper(cfg StriperConfig) (*Striper, error) {
@@ -116,6 +132,9 @@ func NewStriper(cfg StriperConfig) (*Striper, error) {
 			return nil, fmt.Errorf("core: marker position %d out of range [0,%d)", cfg.Markers.Position, cfg.Sched.N())
 		}
 	}
+	if cfg.Obs != nil && cfg.Obs.N() != len(cfg.Channels) {
+		return nil, fmt.Errorf("core: collector sized for %d channels, want %d", cfg.Obs.N(), len(cfg.Channels))
+	}
 	st := &Striper{
 		s:             s,
 		rb:            cfg.Sched,
@@ -124,6 +143,7 @@ func NewStriper(cfg StriperConfig) (*Striper, error) {
 		addSeq:        cfg.AddSeq,
 		gate:          cfg.Gate,
 		markerCredits: cfg.MarkerCredits,
+		obs:           cfg.Obs,
 	}
 	if cfg.Sched == nil {
 		st.cs = cfg.CausalSched
@@ -131,6 +151,11 @@ func NewStriper(cfg StriperConfig) (*Striper, error) {
 	}
 	st.sentOn = make([]int64, len(st.out))
 	st.sentPktsOn = make([]int64, len(st.out))
+	if st.obs != nil && st.rb != nil {
+		for c := range st.out {
+			st.obs.SetQuantum(c, st.rb.QuantumOf(c))
+		}
+	}
 	if st.policy.Every != 0 {
 		st.nextMark = st.policy.Every
 	}
@@ -197,6 +222,7 @@ func (st *Striper) EmitMarkers() {
 		return
 	}
 	st.emitBatch()
+	st.SyncObs()
 	if st.policy.Every != 0 {
 		st.nextMark = st.rb.Round() + st.policy.Every
 	}
@@ -223,7 +249,32 @@ func (st *Striper) emitBatch() {
 		}
 		if err := st.out[c].Send(packet.NewMarker(mb)); err == nil {
 			st.sentMarkers++
+			st.obs.OnMarkerEmitted(c)
 		}
+	}
+}
+
+// SyncObs publishes the striper's counters, the round gauge, and the
+// per-channel surplus gauges to the attached collector. It runs every
+// obsFlushEvery packets, from the timer-driven EmitMarkers path, and
+// from Stats/Snapshot, so scrapes lag a loaded sender by at most
+// obsFlushEvery packets and an idle one by at most a marker interval.
+// Flushing the round and byte counters together also keeps the derived
+// fairness gauge consistent for the flushed prefix.
+func (st *Striper) SyncObs() {
+	if st.obs == nil {
+		return
+	}
+	st.obsLag = 0
+	for c := range st.out {
+		st.obs.SyncStriped(c, st.sentPktsOn[c], st.sentOn[c])
+		if st.rb != nil {
+			st.obs.SetSurplus(c, st.rb.Deficit(c))
+		}
+	}
+	st.obs.SetMaxPacket(int64(st.obsMaxLen))
+	if st.rb != nil {
+		st.obs.SetRound(st.rb.Round())
 	}
 }
 
@@ -234,6 +285,7 @@ func (st *Striper) Send(p *packet.Packet) error {
 	st.maybeEmitMarkers()
 	c := st.s.Select()
 	if st.gate != nil && !st.gate.Admit(c, p.Len()) {
+		st.obs.OnCreditExhausted(c, p.Len())
 		return ErrGated
 	}
 	p.ID = st.nextID
@@ -258,6 +310,18 @@ func (st *Striper) Send(p *packet.Packet) error {
 	st.sentOn[c] += int64(p.Len())
 	st.sentPktsOn[c]++
 	st.s.Account(p.Len())
+	if st.obs != nil {
+		// No atomics here: accounting stays in the striper's plain
+		// fields (already maintained above) and is published in
+		// SyncObs, so an active collector costs two plain-field
+		// updates per packet.
+		if p.Len() > st.obsMaxLen {
+			st.obsMaxLen = p.Len()
+		}
+		if st.obsLag++; st.obsLag >= obsFlushEvery {
+			st.SyncObs()
+		}
+	}
 	st.maybeEmitMarkers()
 	return nil
 }
@@ -287,8 +351,46 @@ func (st *Striper) Reset() error {
 		st.cs.Restore(st.csInit.Clone())
 	}
 	st.nextMark = st.policy.Every
+	st.SyncObs()
+	st.obs.OnReset(st.epoch)
 	return firstErr
 }
 
 // Epoch returns the current reset epoch.
 func (st *Striper) Epoch() uint64 { return st.epoch }
+
+// ChannelLoad is the data load placed on one channel.
+type ChannelLoad struct {
+	Packets int64
+	Bytes   int64
+}
+
+// StriperStats is a copy of the sender counters, the transmit-side
+// mirror of ResequencerStats.
+type StriperStats struct {
+	DataPackets int64 // data packets transmitted
+	DataBytes   int64 // data payload bytes transmitted
+	Markers     int64 // marker packets transmitted
+	Round       uint64
+	Epoch       uint64
+	PerChannel  []ChannelLoad // data load striped onto each channel
+}
+
+// Stats returns a copy of the sender counters. It also flushes the
+// batched observability counters, so a Stats call brings an attached
+// collector fully up to date.
+func (st *Striper) Stats() StriperStats {
+	st.SyncObs()
+	s := StriperStats{
+		DataPackets: st.sentData,
+		DataBytes:   st.sentBytes,
+		Markers:     st.sentMarkers,
+		Round:       st.Round(),
+		Epoch:       st.epoch,
+		PerChannel:  make([]ChannelLoad, len(st.out)),
+	}
+	for c := range st.out {
+		s.PerChannel[c] = ChannelLoad{Packets: st.sentPktsOn[c], Bytes: st.sentOn[c]}
+	}
+	return s
+}

@@ -17,6 +17,7 @@ package flowcontrol
 import (
 	"fmt"
 
+	"stripe/internal/obs"
 	"stripe/internal/packet"
 )
 
@@ -25,6 +26,16 @@ import (
 type Gate struct {
 	sent  []int64
 	grant []int64
+	obs   *obs.Collector
+}
+
+// SetObs attaches a collector; the gate keeps its per-channel
+// remaining-credit gauge current. Call before the gate is in use.
+func (g *Gate) SetObs(c *obs.Collector) {
+	g.obs = c
+	for i := range g.grant {
+		g.obs.SetCreditRemaining(i, g.grant[i]-g.sent[i])
+	}
 }
 
 // NewGate returns a gate for n channels with an initial window of w
@@ -50,7 +61,10 @@ func (g *Gate) Admit(c int, size int) bool {
 }
 
 // Consume charges a transmitted packet against channel c's credit.
-func (g *Gate) Consume(c int, size int) { g.sent[c] += int64(size) }
+func (g *Gate) Consume(c int, size int) {
+	g.sent[c] += int64(size)
+	g.obs.SetCreditRemaining(c, g.grant[c]-g.sent[c])
+}
 
 // ApplyGrant raises channel c's cumulative grant. Grants are monotone:
 // a stale (lower) grant is ignored, so credit packets may be lost,
@@ -61,6 +75,7 @@ func (g *Gate) ApplyGrant(c int, grant int64) {
 	}
 	if grant > g.grant[c] {
 		g.grant[c] = grant
+		g.obs.SetCreditRemaining(c, g.grant[c]-g.sent[c])
 	}
 }
 

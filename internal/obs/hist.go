@@ -1,0 +1,59 @@
+package obs
+
+import "sync/atomic"
+
+// bucketBounds are the fixed upper bounds (inclusive) of the
+// displacement histogram, in packets. Power-of-two spacing matches the
+// quantity's dynamic range: displacement 0 is exact FIFO, small values
+// are quasi-FIFO jitter inside a loss window, large values indicate a
+// resynchronization that took many packets. The final implicit bucket
+// is +Inf.
+var bucketBounds = [...]int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+const nBuckets = len(bucketBounds) + 1 // + the +Inf bucket
+
+// Histogram is a fixed-bucket, lock-free histogram. The zero value is
+// ready to use.
+type Histogram struct {
+	counts [nBuckets]atomic.Int64
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(bucketBounds) && v > bucketBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Buckets are
+// non-cumulative per-bucket counts aligned with Bounds; the last entry
+// counts observations above the final bound.
+type HistogramSnapshot struct {
+	Bounds  []int64 // upper bounds, inclusive; last bucket is +Inf
+	Buckets []int64
+	Sum     int64
+	Count   int64
+}
+
+// Snapshot copies the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:  bucketBounds[:],
+		Buckets: make([]int64, nBuckets),
+		Sum:     h.sum.Load(),
+		Count:   h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	return s
+}

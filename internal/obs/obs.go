@@ -1,0 +1,532 @@
+// Package obs is the runtime observability layer: a lock-free metrics
+// core plus a protocol event bus, designed so that the paper's live
+// properties — the SRR fairness bound |K·Quantum_i − bytes_i| ≤
+// Max + 2·Quantum (Theorem 3.2) and quasi-FIFO recovery within one
+// marker period (Theorem 5.1) — are observable on a running Session
+// instead of only in offline tests.
+//
+// A *Collector holds per-channel atomic counters and gauges written by
+// the striper, resequencer, session, channels, and flow controller.
+// Every method is nil-safe: instrumented code calls the collector
+// unconditionally, and a nil collector compiles to a pointer test on
+// the hot path, so uninstrumented configurations pay (almost) nothing.
+//
+// Protocol transitions — marker resync, skip-rule activation, reset,
+// self-heal, fast-forward, credit exhaustion — additionally fire
+// events through any attached Sink (see sink.go). Exposition to
+// Prometheus text format and expvar lives in prometheus.go; the HTTP
+// endpoint that serves both (plus net/http/pprof) is stripe.Serve.
+//
+// Naming note: package trace (internal/trace) generates *workloads*
+// for the experiments; this package is the runtime tracing layer.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// chanCounters is the per-channel slab of the metrics core. All fields
+// are atomics so writers on different goroutines never contend on a
+// lock.
+type chanCounters struct {
+	stripedPkts     atomic.Int64
+	stripedBytes    atomic.Int64
+	deliveredPkts   atomic.Int64
+	deliveredBytes  atomic.Int64
+	markersEmitted  atomic.Int64
+	markersConsumed atomic.Int64
+	resyncs         atomic.Int64
+	skips           atomic.Int64
+	blockedSends    atomic.Int64
+	lost            atomic.Int64
+	queueDepth      atomic.Int64 // gauge: transmit queue occupancy
+	surplus         atomic.Int64 // gauge: SRR deficit/surplus counter
+	quantum         atomic.Int64 // gauge: configured quantum (static)
+	credit          atomic.Int64 // gauge: unused flow-control credit
+}
+
+// Collector is the lock-free metrics core. Construct with NewCollector
+// and attach to StriperConfig.Obs / ResequencerConfig.Obs (or the
+// public stripe.Config.Collector). All methods are safe for concurrent
+// use and safe on a nil receiver.
+type Collector struct {
+	name string
+	ch   []chanCounters
+
+	round  atomic.Uint64 // sender's global round G
+	maxPkt atomic.Int64  // largest data payload striped so far
+
+	resets        atomic.Int64
+	selfHeals     atomic.Int64
+	fastForwards  atomic.Int64
+	badMarkers    atomic.Int64
+	oldEpochDrops atomic.Int64
+
+	creditStall atomic.Int64 // nanoseconds blocked on exhausted credit
+
+	buffered  atomic.Int64 // gauge: resequencer buffer occupancy
+	highWater atomic.Int64 // max value buffered has reached
+
+	displacement Histogram // reordering lateness per delivery
+
+	eventSeq    atomic.Uint64
+	eventCounts [nKinds]atomic.Int64
+
+	mu    sync.Mutex // guards sink attachment only
+	sinks atomic.Pointer[[]Sink]
+}
+
+// NewCollector returns a collector sized for n channels.
+func NewCollector(n int) *Collector {
+	if n < 0 {
+		n = 0
+	}
+	return &Collector{ch: make([]chanCounters, n)}
+}
+
+// NewNamedCollector returns a collector whose metrics carry a
+// session="name" label in Prometheus exposition, for processes hosting
+// several sessions.
+func NewNamedCollector(name string, n int) *Collector {
+	c := NewCollector(n)
+	c.name = name
+	return c
+}
+
+// N returns the channel count the collector was sized for; zero on a
+// nil collector.
+func (c *Collector) N() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.ch)
+}
+
+// Name returns the collector's session label ("" when unnamed).
+func (c *Collector) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// AddSink attaches a protocol event sink. Sinks receive every event
+// emitted after attachment; attach before wiring the collector into a
+// running engine to see everything.
+func (c *Collector) AddSink(s Sink) {
+	if c == nil || s == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next []Sink
+	if cur := c.sinks.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, s)
+	c.sinks.Store(&next)
+}
+
+// emit counts an event and fans it out to the attached sinks.
+func (c *Collector) emit(k Kind, channel int, round uint64, value int64) {
+	c.eventCounts[k].Add(1)
+	sinks := c.sinks.Load()
+	if sinks == nil {
+		return
+	}
+	e := Event{Seq: c.eventSeq.Add(1), Kind: k, Channel: channel, Round: round, Value: value}
+	for _, s := range *sinks {
+		s.Event(e)
+	}
+}
+
+func (c *Collector) inRange(channel int) bool {
+	return channel >= 0 && channel < len(c.ch)
+}
+
+// --- Sender-side hooks -------------------------------------------------
+
+// OnStriped records one data packet of the given payload size striped
+// onto channel. Senders that keep their own plain counters should
+// prefer SyncStriped at a batch boundary; OnStriped is the per-packet
+// convenience form. Do not mix the two on one collector: SyncStriped
+// stores absolute totals and would clobber OnStriped's sums.
+func (c *Collector) OnStriped(channel, size int) {
+	if c == nil || !c.inRange(channel) {
+		return
+	}
+	cc := &c.ch[channel]
+	cc.stripedPkts.Add(1)
+	cc.stripedBytes.Add(int64(size))
+	atomicMax(&c.maxPkt, int64(size))
+}
+
+// SyncStriped publishes absolute striped totals for channel. The
+// striper batches its hot-path accounting in plain fields (it is
+// single-writer by design) and flushes them here at marker cadence, so
+// enabling metrics costs no per-packet atomics on the transmit path.
+// Totals must be monotone across calls to keep Prometheus counter
+// semantics.
+func (c *Collector) SyncStriped(channel int, pkts, bytes int64) {
+	if c == nil || !c.inRange(channel) {
+		return
+	}
+	cc := &c.ch[channel]
+	cc.stripedPkts.Store(pkts)
+	cc.stripedBytes.Store(bytes)
+}
+
+// SetMaxPacket raises the observed maximum packet size gauge.
+func (c *Collector) SetMaxPacket(v int64) {
+	if c == nil {
+		return
+	}
+	atomicMax(&c.maxPkt, v)
+}
+
+// SetRound updates the sender's global round gauge. The store is
+// elided when the round is unchanged, so per-packet callers pay a load
+// (not a fenced store) on the common path.
+func (c *Collector) SetRound(r uint64) {
+	if c == nil {
+		return
+	}
+	if c.round.Load() != r {
+		c.round.Store(r)
+	}
+}
+
+// SetSurplus updates channel's current deficit/surplus counter gauge.
+func (c *Collector) SetSurplus(channel int, v int64) {
+	if c == nil || !c.inRange(channel) {
+		return
+	}
+	c.ch[channel].surplus.Store(v)
+}
+
+// SetQuantum records channel's configured quantum; the fairness gauge
+// derives the per-channel fair share from it.
+func (c *Collector) SetQuantum(channel int, q int64) {
+	if c == nil || !c.inRange(channel) {
+		return
+	}
+	c.ch[channel].quantum.Store(q)
+}
+
+// OnMarkerEmitted records one marker transmitted on channel.
+func (c *Collector) OnMarkerEmitted(channel int) {
+	if c == nil || !c.inRange(channel) {
+		return
+	}
+	c.ch[channel].markersEmitted.Add(1)
+}
+
+// OnCreditExhausted records a send vetoed by flow control: the selected
+// channel had less credit than the packet size.
+func (c *Collector) OnCreditExhausted(channel, size int) {
+	if c == nil {
+		return
+	}
+	if c.inRange(channel) {
+		c.ch[channel].blockedSends.Add(1)
+	}
+	c.emit(KindCreditExhausted, channel, c.round.Load(), int64(size))
+}
+
+// SetCreditRemaining updates channel's unused flow-control credit gauge.
+func (c *Collector) SetCreditRemaining(channel int, v int64) {
+	if c == nil || !c.inRange(channel) {
+		return
+	}
+	c.ch[channel].credit.Store(v)
+}
+
+// AddCreditStall accumulates wall-clock time a sender spent blocked
+// waiting for credits.
+func (c *Collector) AddCreditStall(d time.Duration) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.creditStall.Add(int64(d))
+}
+
+// OnReset records a reset (sender broadcast or receiver application of
+// one); value carries the new epoch.
+func (c *Collector) OnReset(epoch uint64) {
+	if c == nil {
+		return
+	}
+	c.resets.Add(1)
+	c.emit(KindReset, -1, c.round.Load(), int64(epoch))
+}
+
+// --- Receiver-side hooks -----------------------------------------------
+
+// OnDelivered records one data packet delivered in order off channel.
+// displacement is the reordering lateness in packets (0 = in order):
+// how far behind the highest-ID delivery so far this packet arrived.
+func (c *Collector) OnDelivered(channel, size int, displacement int64) {
+	if c == nil || !c.inRange(channel) {
+		return
+	}
+	cc := &c.ch[channel]
+	cc.deliveredPkts.Add(1)
+	cc.deliveredBytes.Add(int64(size))
+	c.displacement.Observe(displacement)
+}
+
+// OnMarkerConsumed records one structurally valid marker consumed from
+// channel.
+func (c *Collector) OnMarkerConsumed(channel int) {
+	if c == nil || !c.inRange(channel) {
+		return
+	}
+	c.ch[channel].markersConsumed.Add(1)
+}
+
+// OnBadMarker records a marker dropped as corrupt or mis-addressed.
+func (c *Collector) OnBadMarker() {
+	if c == nil {
+		return
+	}
+	c.badMarkers.Add(1)
+}
+
+// OnResync records a marker that changed receiver state for channel:
+// the channel's expected round moved to round with the given deficit.
+func (c *Collector) OnResync(channel int, round uint64, deficit int64) {
+	if c == nil {
+		return
+	}
+	if c.inRange(channel) {
+		c.ch[channel].resyncs.Add(1)
+	}
+	c.emit(KindResync, channel, round, deficit)
+}
+
+// OnSkip records one skip-rule activation: the receiver passed over
+// channel because its expected round is still ahead of G.
+func (c *Collector) OnSkip(channel int, round uint64) {
+	if c == nil {
+		return
+	}
+	if c.inRange(channel) {
+		c.ch[channel].skips.Add(1)
+	}
+	c.emit(KindSkip, channel, round, 0)
+}
+
+// OnFastForward records the receiver jumping its round from from to to
+// because every channel was skip-listed.
+func (c *Collector) OnFastForward(from, to uint64) {
+	if c == nil {
+		return
+	}
+	c.fastForwards.Add(1)
+	c.emit(KindFastForward, -1, from, int64(to-from))
+}
+
+// OnSelfHeal records a self-stabilization event: the receiver adopted
+// the state declared by uniformly stale markers, restarting at round.
+func (c *Collector) OnSelfHeal(round uint64) {
+	if c == nil {
+		return
+	}
+	c.selfHeals.Add(1)
+	c.emit(KindSelfHeal, -1, round, 0)
+}
+
+// OnOldEpochDrops records packets discarded while waiting out a reset.
+func (c *Collector) OnOldEpochDrops(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.oldEpochDrops.Add(n)
+}
+
+// SetBuffered updates the resequencer buffer occupancy gauge and its
+// high-water mark.
+func (c *Collector) SetBuffered(n int64) {
+	if c == nil {
+		return
+	}
+	c.buffered.Store(n)
+	atomicMax(&c.highWater, n)
+}
+
+// --- Channel hooks -----------------------------------------------------
+
+// OnChannelLost records a packet dropped (lost or corrupted) by the
+// physical channel itself.
+func (c *Collector) OnChannelLost(channel int) {
+	if c == nil || !c.inRange(channel) {
+		return
+	}
+	c.ch[channel].lost.Add(1)
+}
+
+// SetChannelQueueDepth updates channel's transmit queue occupancy gauge.
+func (c *Collector) SetChannelQueueDepth(channel int, depth int64) {
+	if c == nil || !c.inRange(channel) {
+		return
+	}
+	c.ch[channel].queueDepth.Store(depth)
+}
+
+// --- Derived metrics ---------------------------------------------------
+
+// Fairness returns the live fairness gauge: the maximum over channels
+// of |K·Quantum_i − bytes_i| (K the sender's current round, bytes_i the
+// data bytes striped onto channel i) and the theoretical bound
+// Max + 2·max_i(Quantum_i) of Theorem 3.2. Both are zero until a round
+// completes or when quanta were never registered (non-round-based
+// schedulers).
+func (c *Collector) Fairness() (discrepancy, bound int64) {
+	if c == nil {
+		return 0, 0
+	}
+	k := int64(c.round.Load())
+	if k == 0 {
+		return 0, 0
+	}
+	var maxQ int64
+	for i := range c.ch {
+		q := c.ch[i].quantum.Load()
+		if q <= 0 {
+			continue
+		}
+		if q > maxQ {
+			maxQ = q
+		}
+		d := k*q - c.ch[i].stripedBytes.Load()
+		if d < 0 {
+			d = -d
+		}
+		if d > discrepancy {
+			discrepancy = d
+		}
+	}
+	if maxQ == 0 {
+		return 0, 0
+	}
+	return discrepancy, c.maxPkt.Load() + 2*maxQ
+}
+
+// --- Snapshot ----------------------------------------------------------
+
+// ChannelSnapshot is a point-in-time copy of one channel's counters.
+type ChannelSnapshot struct {
+	StripedPackets   int64
+	StripedBytes     int64
+	DeliveredPackets int64
+	DeliveredBytes   int64
+	MarkersEmitted   int64
+	MarkersConsumed  int64
+	Resyncs          int64
+	Skips            int64
+	BlockedSends     int64
+	Lost             int64
+	QueueDepth       int64
+	Surplus          int64
+	Quantum          int64
+	CreditRemaining  int64
+}
+
+// Snapshot is a point-in-time copy of every metric the collector holds,
+// plus the derived fairness gauge. It is what Session.Snapshot,
+// Sender.Snapshot and Receiver.Snapshot return, what expvar publishes
+// as JSON, and the source of the Prometheus exposition.
+type Snapshot struct {
+	Name     string `json:",omitempty"`
+	Channels []ChannelSnapshot
+
+	Round     uint64
+	MaxPacket int64
+
+	Resets        int64
+	SelfHeals     int64
+	FastForwards  int64
+	BadMarkers    int64
+	OldEpochDrops int64
+
+	CreditStall time.Duration // total time senders spent credit-blocked
+
+	Buffered          int64 // resequencer buffer occupancy now
+	BufferedHighWater int64
+
+	// FairnessDiscrepancy is max_i |K·Quantum_i − bytes_i|;
+	// FairnessBound is the Theorem 3.2 ceiling Max + 2·Quantum. A
+	// discrepancy above the bound means the fairness invariant broke —
+	// visible here as a metric, not just a test failure.
+	FairnessDiscrepancy int64
+	FairnessBound       int64
+
+	Displacement HistogramSnapshot
+
+	Events map[string]int64 `json:",omitempty"` // per-kind event counts
+}
+
+// Snapshot returns a consistent-enough copy of all counters (each field
+// is read atomically; the set is not a single atomic cut, which metrics
+// scraping never needs). Safe on nil (returns the zero Snapshot).
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		Name:              c.name,
+		Channels:          make([]ChannelSnapshot, len(c.ch)),
+		Round:             c.round.Load(),
+		MaxPacket:         c.maxPkt.Load(),
+		Resets:            c.resets.Load(),
+		SelfHeals:         c.selfHeals.Load(),
+		FastForwards:      c.fastForwards.Load(),
+		BadMarkers:        c.badMarkers.Load(),
+		OldEpochDrops:     c.oldEpochDrops.Load(),
+		CreditStall:       time.Duration(c.creditStall.Load()),
+		Buffered:          c.buffered.Load(),
+		BufferedHighWater: c.highWater.Load(),
+		Displacement:      c.displacement.Snapshot(),
+	}
+	for i := range c.ch {
+		cc := &c.ch[i]
+		s.Channels[i] = ChannelSnapshot{
+			StripedPackets:   cc.stripedPkts.Load(),
+			StripedBytes:     cc.stripedBytes.Load(),
+			DeliveredPackets: cc.deliveredPkts.Load(),
+			DeliveredBytes:   cc.deliveredBytes.Load(),
+			MarkersEmitted:   cc.markersEmitted.Load(),
+			MarkersConsumed:  cc.markersConsumed.Load(),
+			Resyncs:          cc.resyncs.Load(),
+			Skips:            cc.skips.Load(),
+			BlockedSends:     cc.blockedSends.Load(),
+			Lost:             cc.lost.Load(),
+			QueueDepth:       cc.queueDepth.Load(),
+			Surplus:          cc.surplus.Load(),
+			Quantum:          cc.quantum.Load(),
+			CreditRemaining:  cc.credit.Load(),
+		}
+	}
+	s.FairnessDiscrepancy, s.FairnessBound = c.Fairness()
+	for k := Kind(0); k < nKinds; k++ {
+		if n := c.eventCounts[k].Load(); n != 0 {
+			if s.Events == nil {
+				s.Events = make(map[string]int64, int(nKinds))
+			}
+			s.Events[k.String()] = n
+		}
+	}
+	return s
+}
+
+// atomicMax raises *a to v if v is larger, without locking.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

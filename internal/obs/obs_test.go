@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilCollectorIsSafe checks that every hook is a no-op on a nil
+// *Collector: instrumented code never guards calls beyond one pointer
+// test, so the nil receiver must absorb the full surface.
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.OnStriped(0, 100)
+	c.SetRound(3)
+	c.SetSurplus(1, -50)
+	c.SetQuantum(0, 1500)
+	c.OnMarkerEmitted(0)
+	c.OnCreditExhausted(1, 200)
+	c.SetCreditRemaining(0, 10)
+	c.AddCreditStall(time.Millisecond)
+	c.OnReset(1)
+	c.OnDelivered(0, 100, 2)
+	c.OnMarkerConsumed(1)
+	c.OnBadMarker()
+	c.OnResync(0, 5, -100)
+	c.OnSkip(1, 6)
+	c.OnFastForward(2, 9)
+	c.OnSelfHeal(7)
+	c.OnOldEpochDrops(3)
+	c.SetBuffered(4)
+	c.OnChannelLost(0)
+	c.SetChannelQueueDepth(1, 8)
+	if d, b := c.Fairness(); d != 0 || b != 0 {
+		t.Fatalf("nil Fairness = %d, %d", d, b)
+	}
+	if s := c.Snapshot(); len(s.Channels) != 0 {
+		t.Fatalf("nil Snapshot has channels: %+v", s)
+	}
+}
+
+func TestCountersAndSnapshot(t *testing.T) {
+	c := NewNamedCollector("t", 2)
+	if c.N() != 2 || c.Name() != "t" {
+		t.Fatalf("N=%d Name=%q", c.N(), c.Name())
+	}
+	c.SetQuantum(0, 1500)
+	c.SetQuantum(1, 1500)
+	c.OnStriped(0, 1000)
+	c.OnStriped(0, 500)
+	c.OnStriped(1, 1500)
+	c.SetRound(1)
+	c.OnMarkerEmitted(0)
+	c.OnDelivered(1, 1500, 0)
+	c.OnDelivered(0, 1000, 3)
+	c.OnMarkerConsumed(0)
+	c.SetBuffered(5)
+	c.SetBuffered(2)
+	c.OnChannelLost(1)
+
+	s := c.Snapshot()
+	if s.Channels[0].StripedPackets != 2 || s.Channels[0].StripedBytes != 1500 {
+		t.Fatalf("channel 0 striped: %+v", s.Channels[0])
+	}
+	if s.Channels[1].StripedBytes != 1500 || s.Channels[1].Lost != 1 {
+		t.Fatalf("channel 1: %+v", s.Channels[1])
+	}
+	if s.Channels[0].DeliveredPackets != 1 || s.Channels[1].DeliveredBytes != 1500 {
+		t.Fatalf("delivered: %+v", s.Channels)
+	}
+	if s.MaxPacket != 1500 {
+		t.Fatalf("MaxPacket = %d", s.MaxPacket)
+	}
+	if s.Buffered != 2 || s.BufferedHighWater != 5 {
+		t.Fatalf("buffered %d high water %d", s.Buffered, s.BufferedHighWater)
+	}
+	// K=1, quanta 1500/1500, bytes 1500/1500 -> discrepancy 0,
+	// bound = Max + 2*Quantum = 1500 + 3000.
+	if s.FairnessDiscrepancy != 0 || s.FairnessBound != 4500 {
+		t.Fatalf("fairness %d/%d", s.FairnessDiscrepancy, s.FairnessBound)
+	}
+	// Displacement histogram saw one 0 and one 3 (bucket le=4).
+	if s.Displacement.Count != 2 || s.Displacement.Sum != 3 {
+		t.Fatalf("displacement %+v", s.Displacement)
+	}
+}
+
+func TestFairnessDiscrepancy(t *testing.T) {
+	c := NewCollector(2)
+	if d, b := c.Fairness(); d != 0 || b != 0 {
+		t.Fatalf("fresh collector fairness %d/%d", d, b)
+	}
+	c.SetQuantum(0, 1000)
+	c.SetQuantum(1, 500)
+	c.OnStriped(0, 1800) // deficit vs K*Q0 = 2000: 200
+	c.OnStriped(1, 1300) // surplus vs K*Q1 = 1000: 300
+	c.SetRound(2)
+	d, b := c.Fairness()
+	if d != 300 {
+		t.Fatalf("discrepancy = %d, want 300", d)
+	}
+	if want := int64(1800 + 2*1000); b != want {
+		t.Fatalf("bound = %d, want %d", b, want)
+	}
+}
+
+func TestEventsAndRingSink(t *testing.T) {
+	c := NewCollector(2)
+	ring := NewRingSink(4)
+	c.AddSink(ring)
+	var funcGot []Event
+	c.AddSink(SinkFunc(func(e Event) { funcGot = append(funcGot, e) }))
+
+	c.OnResync(0, 5, -100)
+	c.OnSkip(1, 6)
+	c.OnReset(2)
+	c.OnSelfHeal(9)
+	c.OnFastForward(3, 9)
+	c.OnCreditExhausted(0, 700)
+
+	if got := ring.Total(); got != 6 {
+		t.Fatalf("ring total = %d, want 6", got)
+	}
+	evs := ring.Events()
+	if len(evs) != 4 { // bounded: keeps only the newest 4
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	wantKinds := []Kind{KindReset, KindSelfHeal, KindFastForward, KindCreditExhausted}
+	for i, e := range evs {
+		if e.Kind != wantKinds[i] {
+			t.Fatalf("ring[%d] = %v, want %v", i, e.Kind, wantKinds[i])
+		}
+	}
+	if len(funcGot) != 6 {
+		t.Fatalf("SinkFunc saw %d events", len(funcGot))
+	}
+	// Seq is assigned monotonically across sinks.
+	for i := 1; i < len(funcGot); i++ {
+		if funcGot[i].Seq != funcGot[i-1].Seq+1 {
+			t.Fatalf("non-monotone seq: %v", funcGot)
+		}
+	}
+	if s := funcGot[0].String(); !strings.Contains(s, "resync") || !strings.Contains(s, "channel=0") {
+		t.Fatalf("event string %q", s)
+	}
+	// Event counters made it into the snapshot.
+	snap := c.Snapshot()
+	for _, k := range []string{"resync", "skip", "reset", "self_heal", "fast_forward", "credit_exhausted"} {
+		if snap.Events[k] != 1 {
+			t.Fatalf("snapshot events %v, missing %s", snap.Events, k)
+		}
+	}
+}
+
+func TestWriterSink(t *testing.T) {
+	c := NewCollector(1)
+	var sb strings.Builder
+	var mu sync.Mutex
+	c.AddSink(SinkFunc(func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		NewWriterSink(&sb).Event(e)
+	}))
+	c.OnResync(0, 7, 42)
+	if got := sb.String(); !strings.Contains(got, "resync channel=0 round=7 value=42") {
+		t.Fatalf("writer sink wrote %q", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 3, 900, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 5904 {
+		t.Fatalf("count %d sum %d", s.Count, s.Sum)
+	}
+	if len(s.Buckets) != len(s.Bounds)+1 {
+		t.Fatalf("%d buckets for %d bounds", len(s.Buckets), len(s.Bounds))
+	}
+	find := func(bound int64) int64 {
+		for i, b := range s.Bounds {
+			if b == bound {
+				return s.Buckets[i]
+			}
+		}
+		t.Fatalf("no bucket bound %d", bound)
+		return 0
+	}
+	if find(0) != 1 || find(1) != 1 || find(4) != 1 || find(1024) != 1 {
+		t.Fatalf("bucket placement: %+v", s)
+	}
+	if s.Buckets[len(s.Buckets)-1] != 1 { // +Inf overflow
+		t.Fatalf("overflow bucket: %+v", s)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	a := NewNamedCollector("a", 2)
+	b := NewNamedCollector("b", 1)
+	a.SetQuantum(0, 1500)
+	a.SetQuantum(1, 1500)
+	a.OnStriped(0, 1000)
+	a.SetRound(1)
+	a.OnMarkerEmitted(1)
+	a.OnResync(0, 4, 0)
+	a.OnDelivered(0, 1000, 2)
+	b.OnStriped(0, 64)
+
+	var sb strings.Builder
+	WritePrometheus(&sb, a, b)
+	out := sb.String()
+	for _, want := range []string{
+		`stripe_channel_bytes_total{session="a",channel="0",dir="tx"} 1000`,
+		`stripe_markers_total{session="a",channel="1",dir="tx"} 1`,
+		`stripe_resync_events_total{session="a",channel="0"} 1`,
+		`stripe_fairness_discrepancy_bytes{session="a"} 1500`,
+		`stripe_fairness_bound_bytes{session="a"} 4000`,
+		`stripe_channel_bytes_total{session="b",channel="0",dir="tx"} 64`,
+		`stripe_protocol_events_total{session="a",kind="resync"} 1`,
+		`stripe_displacement_packets_bucket{session="a",le="2"} 1`,
+		`stripe_displacement_packets_sum{session="a"} 2`,
+		`stripe_displacement_packets_count{session="a"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// HELP/TYPE appear exactly once per metric even with two collectors.
+	if n := strings.Count(out, "# TYPE stripe_channel_bytes_total counter"); n != 1 {
+		t.Fatalf("TYPE line appears %d times", n)
+	}
+}
+
+// TestWritePrometheusUnnamed checks that multiple unnamed collectors
+// get synthesized session labels instead of colliding.
+func TestWritePrometheusUnnamed(t *testing.T) {
+	a, b := NewCollector(1), NewCollector(1)
+	a.OnStriped(0, 1)
+	b.OnStriped(0, 2)
+	var sb strings.Builder
+	WritePrometheus(&sb, a, b)
+	out := sb.String()
+	if !strings.Contains(out, `session="c0"`) || !strings.Contains(out, `session="c1"`) {
+		t.Fatalf("missing synthesized labels:\n%s", out)
+	}
+}
+
+// TestConcurrentUse hammers one collector from many goroutines; run
+// under -race this is the lock-freedom proof for the hot-path hooks.
+func TestConcurrentUse(t *testing.T) {
+	c := NewCollector(4)
+	ring := NewRingSink(16)
+	c.AddSink(ring)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ch := g % 4
+			for i := 0; i < 1000; i++ {
+				c.OnStriped(ch, 100)
+				c.OnDelivered(ch, 100, int64(i%3))
+				c.SetRound(uint64(i))
+				c.SetBuffered(int64(i % 7))
+				if i%100 == 0 {
+					c.OnResync(ch, uint64(i), 0)
+					var sb strings.Builder
+					c.WritePrometheus(&sb)
+					_ = c.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	var pkts int64
+	for _, ch := range s.Channels {
+		pkts += ch.StripedPackets
+	}
+	if pkts != 8*1000 {
+		t.Fatalf("striped %d, want 8000", pkts)
+	}
+	if s.Displacement.Count != 8*1000 {
+		t.Fatalf("displacement count %d", s.Displacement.Count)
+	}
+}

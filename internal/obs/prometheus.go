@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// WritePrometheus renders the collectors in Prometheus text exposition
+// format (version 0.0.4). Metadata (# HELP / # TYPE) is written once
+// per metric even when several collectors share the endpoint; samples
+// from a named collector carry a session="name" label.
+func WritePrometheus(w io.Writer, cols ...*Collector) {
+	snaps := make([]Snapshot, 0, len(cols))
+	for _, c := range cols {
+		if c != nil {
+			snaps = append(snaps, c.Snapshot())
+		}
+	}
+	// When several unnamed collectors share an endpoint their samples
+	// would collide; synthesize an index label.
+	if len(snaps) > 1 {
+		for i := range snaps {
+			if snaps[i].Name == "" {
+				snaps[i].Name = "c" + strconv.Itoa(i)
+			}
+		}
+	}
+
+	metric := func(name, typ, help string, emit func(s *Snapshot, base string)) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for i := range snaps {
+			base := ""
+			if snaps[i].Name != "" {
+				base = `session="` + snaps[i].Name + `"`
+			}
+			emit(&snaps[i], base)
+		}
+	}
+	// sample writes one sample line, merging the session label with any
+	// metric-specific labels.
+	sample := func(name, base, labels string, v int64) {
+		switch {
+		case base == "" && labels == "":
+			fmt.Fprintf(w, "%s %d\n", name, v)
+		case base == "":
+			fmt.Fprintf(w, "%s{%s} %d\n", name, labels, v)
+		case labels == "":
+			fmt.Fprintf(w, "%s{%s} %d\n", name, base, v)
+		default:
+			fmt.Fprintf(w, "%s{%s,%s} %d\n", name, base, labels, v)
+		}
+	}
+	perChannel := func(name, typ, help string, get func(*ChannelSnapshot) int64) {
+		metric(name, typ, help, func(s *Snapshot, base string) {
+			for c := range s.Channels {
+				sample(name, base, `channel="`+strconv.Itoa(c)+`"`, get(&s.Channels[c]))
+			}
+		})
+	}
+	perChannelDir := func(name, typ, help string, tx, rx func(*ChannelSnapshot) int64) {
+		metric(name, typ, help, func(s *Snapshot, base string) {
+			for c := range s.Channels {
+				l := `channel="` + strconv.Itoa(c) + `"`
+				sample(name, base, l+`,dir="tx"`, tx(&s.Channels[c]))
+				sample(name, base, l+`,dir="rx"`, rx(&s.Channels[c]))
+			}
+		})
+	}
+	scalar := func(name, typ, help string, get func(*Snapshot) int64) {
+		metric(name, typ, help, func(s *Snapshot, base string) {
+			sample(name, base, "", get(s))
+		})
+	}
+
+	perChannelDir("stripe_channel_packets_total", "counter",
+		"Data packets striped onto (tx) or delivered in order from (rx) each channel.",
+		func(c *ChannelSnapshot) int64 { return c.StripedPackets },
+		func(c *ChannelSnapshot) int64 { return c.DeliveredPackets })
+	perChannelDir("stripe_channel_bytes_total", "counter",
+		"Data payload bytes striped onto (tx) or delivered in order from (rx) each channel.",
+		func(c *ChannelSnapshot) int64 { return c.StripedBytes },
+		func(c *ChannelSnapshot) int64 { return c.DeliveredBytes })
+	perChannelDir("stripe_markers_total", "counter",
+		"Synchronization markers emitted on (tx) or consumed from (rx) each channel.",
+		func(c *ChannelSnapshot) int64 { return c.MarkersEmitted },
+		func(c *ChannelSnapshot) int64 { return c.MarkersConsumed })
+	perChannel("stripe_resync_events_total", "counter",
+		"Markers that changed receiver state (expected round or deficit adopted).",
+		func(c *ChannelSnapshot) int64 { return c.Resyncs })
+	perChannel("stripe_skips_total", "counter",
+		"Channel visits skipped under the r_c > G rule.",
+		func(c *ChannelSnapshot) int64 { return c.Skips })
+	perChannel("stripe_blocked_sends_total", "counter",
+		"Send attempts vetoed by credit-based flow control.",
+		func(c *ChannelSnapshot) int64 { return c.BlockedSends })
+	perChannel("stripe_channel_lost_packets_total", "counter",
+		"Packets dropped by the physical channel (loss or corruption).",
+		func(c *ChannelSnapshot) int64 { return c.Lost })
+	perChannel("stripe_channel_queue_depth", "gauge",
+		"Transmit queue occupancy per channel, in packets.",
+		func(c *ChannelSnapshot) int64 { return c.QueueDepth })
+	perChannel("stripe_channel_surplus_bytes", "gauge",
+		"Current SRR deficit/surplus counter per channel.",
+		func(c *ChannelSnapshot) int64 { return c.Surplus })
+	perChannel("stripe_channel_quantum_bytes", "gauge",
+		"Configured SRR quantum per channel.",
+		func(c *ChannelSnapshot) int64 { return c.Quantum })
+	perChannel("stripe_credit_remaining_bytes", "gauge",
+		"Unused flow-control credit per channel (0 when flow control is off).",
+		func(c *ChannelSnapshot) int64 { return c.CreditRemaining })
+
+	scalar("stripe_round", "gauge",
+		"Sender global round number G.",
+		func(s *Snapshot) int64 { return int64(s.Round) })
+	scalar("stripe_max_packet_bytes", "gauge",
+		"Largest data payload striped so far (the Max of Theorem 3.2).",
+		func(s *Snapshot) int64 { return s.MaxPacket })
+	scalar("stripe_resets_total", "counter",
+		"Epoch resets broadcast or applied.",
+		func(s *Snapshot) int64 { return s.Resets })
+	scalar("stripe_self_heals_total", "counter",
+		"Self-stabilization events (receiver state adopted from markers).",
+		func(s *Snapshot) int64 { return s.SelfHeals })
+	scalar("stripe_fast_forwards_total", "counter",
+		"Receiver round fast-forwards while every channel was skip-listed.",
+		func(s *Snapshot) int64 { return s.FastForwards })
+	scalar("stripe_bad_markers_total", "counter",
+		"Markers dropped as corrupt or mis-addressed.",
+		func(s *Snapshot) int64 { return s.BadMarkers })
+	scalar("stripe_old_epoch_drops_total", "counter",
+		"Packets discarded while waiting out an epoch reset.",
+		func(s *Snapshot) int64 { return s.OldEpochDrops })
+	scalar("stripe_credit_stall_nanoseconds_total", "counter",
+		"Total wall-clock time senders spent blocked on exhausted credit.",
+		func(s *Snapshot) int64 { return int64(s.CreditStall) })
+	scalar("stripe_reseq_buffered_packets", "gauge",
+		"Resequencer buffer occupancy, in packets.",
+		func(s *Snapshot) int64 { return s.Buffered })
+	scalar("stripe_reseq_buffered_high_water", "gauge",
+		"Highest resequencer buffer occupancy observed.",
+		func(s *Snapshot) int64 { return s.BufferedHighWater })
+	scalar("stripe_fairness_discrepancy_bytes", "gauge",
+		"Live fairness gauge: max over channels of |K*Quantum_i - bytes_i|.",
+		func(s *Snapshot) int64 { return s.FairnessDiscrepancy })
+	scalar("stripe_fairness_bound_bytes", "gauge",
+		"Theorem 3.2 ceiling Max + 2*Quantum; discrepancy above it is an invariant violation.",
+		func(s *Snapshot) int64 { return s.FairnessBound })
+
+	metric("stripe_protocol_events_total", "counter",
+		"Protocol transition events by kind.",
+		func(s *Snapshot, base string) {
+			for k := Kind(0); k < nKinds; k++ {
+				if n, ok := s.Events[k.String()]; ok {
+					sample("stripe_protocol_events_total", base, `kind="`+k.String()+`"`, n)
+				}
+			}
+		})
+
+	// Displacement histogram, in native Prometheus histogram shape
+	// (cumulative buckets with an le label).
+	name := "stripe_displacement_packets"
+	fmt.Fprintf(w, "# HELP %s Reordering lateness per delivered packet (0 = in order).\n# TYPE %s histogram\n", name, name)
+	for i := range snaps {
+		base := ""
+		if snaps[i].Name != "" {
+			base = `session="` + snaps[i].Name + `"`
+		}
+		h := snaps[i].Displacement
+		cum := int64(0)
+		for b, cnt := range h.Buckets {
+			cum += cnt
+			le := "+Inf"
+			if b < len(h.Bounds) {
+				le = strconv.FormatInt(h.Bounds[b], 10)
+			}
+			sample(name+"_bucket", base, `le="`+le+`"`, cum)
+		}
+		sample(name+"_sum", base, "", h.Sum)
+		sample(name+"_count", base, "", h.Count)
+	}
+}
+
+// WritePrometheus renders this collector alone; see the package-level
+// function for multi-collector endpoints.
+func (c *Collector) WritePrometheus(w io.Writer) { WritePrometheus(w, c) }
+
+// String renders the snapshot as JSON; it makes the collector an
+// expvar.Var.
+func (c *Collector) String() string {
+	b, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+var expvarMu sync.Mutex
+
+// PublishExpvar registers the collector under "stripe.<name>" (or
+// "stripe" when unnamed) in the process-wide expvar registry, making it
+// visible at /debug/vars. Re-publishing the same name replaces nothing
+// and is a no-op, so it is safe to call repeatedly.
+func (c *Collector) PublishExpvar() {
+	if c == nil {
+		return
+	}
+	name := "stripe"
+	if c.name != "" {
+		name += "." + c.name
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, c)
+	}
+}

@@ -7,6 +7,11 @@
 //
 // Generators are deterministic under a seed so experiments are exactly
 // reproducible.
+//
+// Despite the name, this package has nothing to do with protocol event
+// tracing: it generates *input* traffic (packet-size traces). Runtime
+// observability — per-channel metrics, protocol event streams, and the
+// /metrics endpoint — lives in internal/obs.
 package trace
 
 import (

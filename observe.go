@@ -1,0 +1,76 @@
+package stripe
+
+import (
+	"io"
+
+	"stripe/internal/core"
+	"stripe/internal/obs"
+)
+
+// Collector is the lock-free runtime metrics core. Create one with
+// NewCollector, attach it via Config.Collector, and read it with
+// Snapshot (on the collector or on the Sender/Receiver/Session it is
+// attached to), expose it over HTTP with Serve, or subscribe to
+// protocol events with AddSink. All methods are nil-safe, so an
+// unobserved configuration pays only a pointer test per packet.
+type Collector = obs.Collector
+
+// NewCollector returns a collector sized for n channels.
+func NewCollector(n int) *Collector { return obs.NewCollector(n) }
+
+// NewNamedCollector returns a collector whose metrics carry a
+// session="name" label, for processes hosting several sessions behind
+// one Serve endpoint.
+func NewNamedCollector(name string, n int) *Collector { return obs.NewNamedCollector(name, n) }
+
+// Snapshot is a point-in-time copy of every metric a Collector holds,
+// including the derived live fairness gauge (FairnessDiscrepancy
+// against the Theorem 3.2 FairnessBound).
+type Snapshot = obs.Snapshot
+
+// ChannelSnapshot is the per-channel slice of a Snapshot.
+type ChannelSnapshot = obs.ChannelSnapshot
+
+// Event is one protocol transition observed by the runtime tracing
+// layer: marker resync, skip-rule activation, reset, self-heal,
+// fast-forward, or credit exhaustion.
+type Event = obs.Event
+
+// EventKind enumerates protocol transition kinds.
+type EventKind = obs.Kind
+
+// Protocol event kinds.
+const (
+	EventResync          = obs.KindResync
+	EventSkip            = obs.KindSkip
+	EventReset           = obs.KindReset
+	EventSelfHeal        = obs.KindSelfHeal
+	EventFastForward     = obs.KindFastForward
+	EventCreditExhausted = obs.KindCreditExhausted
+)
+
+// EventSink observes protocol events; attach with Collector.AddSink.
+type EventSink = obs.Sink
+
+// RingSink retains the most recent protocol events in a bounded
+// in-memory ring.
+type RingSink = obs.RingSink
+
+// NewRingSink returns a ring sink retaining the last n events (256
+// when n is not positive).
+func NewRingSink(n int) *RingSink { return obs.NewRingSink(n) }
+
+// NewWriterSink returns a sink that appends one line per protocol
+// event to w.
+func NewWriterSink(w io.Writer) *obs.WriterSink { return obs.NewWriterSink(w) }
+
+// ReceiverStats are the receive-side protocol counters returned by
+// Receiver.Stats and Session.Stats; see doc.go for field meanings.
+type ReceiverStats = core.ResequencerStats
+
+// SenderStats are the transmit-side counters returned by Sender.Stats
+// and Session.SendStats; see doc.go for field meanings.
+type SenderStats = core.StriperStats
+
+// ChannelLoad is the per-channel data load inside SenderStats.
+type ChannelLoad = core.ChannelLoad

@@ -1,0 +1,259 @@
+package stripe
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"stripe/internal/channel"
+	"stripe/internal/trace"
+)
+
+// TestFairnessGaugeUnderFigure15Workload drives the public Sender with
+// the paper's Figure 15 workload (equiprobable 200 B / 1000 B packets)
+// and checks the live fairness gauge on many prefixes: the measured
+// discrepancy max_i |K·Quantum_i − bytes_i| must never exceed the
+// Theorem 3.2 bound Max + 2·Quantum.
+func TestFairnessGaugeUnderFigure15Workload(t *testing.T) {
+	const nch = 4
+	col := NewCollector(nch)
+	g := channel.NewGroup(nch, channel.Impairments{})
+	tx, err := NewSender(g.Senders(), Config{
+		Quanta:    UniformQuanta(nch, 1500),
+		Markers:   MarkerPolicy{Every: 4, Position: 0},
+		Collector: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := trace.NewBimodal(200, 1000, 0.5, 15)
+	for i := 0; i < 5000; i++ {
+		if err := tx.SendBytes(make([]byte, sizes.Next())); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range g.Queues {
+			q.Recv()
+		}
+		if i%97 == 0 {
+			s := tx.Snapshot()
+			if s.FairnessBound > 0 && s.FairnessDiscrepancy > s.FairnessBound {
+				t.Fatalf("prefix %d: fairness discrepancy %d exceeds bound %d",
+					i, s.FairnessDiscrepancy, s.FairnessBound)
+			}
+		}
+	}
+	s := tx.Snapshot()
+	if s.FairnessBound == 0 {
+		t.Fatal("fairness bound never derived")
+	}
+	if s.FairnessDiscrepancy > s.FairnessBound {
+		t.Fatalf("final fairness discrepancy %d exceeds bound %d",
+			s.FairnessDiscrepancy, s.FairnessBound)
+	}
+	st := tx.Stats()
+	var colBytes int64
+	for _, ch := range s.Channels {
+		colBytes += ch.StripedBytes
+	}
+	if colBytes != st.DataBytes {
+		t.Fatalf("collector bytes %d != Stats bytes %d", colBytes, st.DataBytes)
+	}
+}
+
+// TestServeEndpoints starts the observability endpoint and checks all
+// three surfaces respond: Prometheus text, expvar JSON, and pprof.
+func TestServeEndpoints(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0"); err == nil {
+		t.Fatal("Serve accepted zero collectors")
+	}
+
+	const nch = 2
+	col := NewNamedCollector("servetest", nch)
+	g := channel.NewGroup(nch, channel.Impairments{})
+	tx, err := NewSender(g.Senders(), Config{
+		Quanta:    UniformQuanta(nch, 1500),
+		Markers:   MarkerPolicy{Every: 2, Position: 0},
+		Collector: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tx.SendBytes(make([]byte, 700)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv, err := Serve("127.0.0.1:0", col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		`stripe_channel_bytes_total{session="servetest",channel="0",dir="tx"}`,
+		`stripe_markers_total{session="servetest"`,
+		`stripe_resync_events_total{session="servetest"`,
+		`stripe_fairness_discrepancy_bytes{session="servetest"}`,
+		`stripe_fairness_bound_bytes{session="servetest"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if !strings.Contains(body, "stripe.servetest") {
+		t.Fatalf("/debug/vars missing published collector:\n%s", body)
+	}
+
+	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if code, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// TestSessionCollectorWiring runs a duplex session pair with a
+// collector on each end and checks the observability surface the
+// Session exposes: snapshots mirror the transmit stats, flow-control
+// pressure shows up as blocked sends and credit-stall time, and the
+// receive side counts deliveries.
+func TestSessionCollectorWiring(t *testing.T) {
+	const nch = 2
+	colA := NewNamedCollector("a", nch)
+	colB := NewNamedCollector("b", nch)
+
+	mkChans := func() ([]*LocalChannel, []ChannelSender) {
+		chans := make([]*LocalChannel, nch)
+		senders := make([]ChannelSender, nch)
+		for i := range chans {
+			chans[i] = NewLocalChannel(LocalChannelConfig{Seed: int64(i)})
+			senders[i] = chans[i]
+		}
+		return chans, senders
+	}
+	abChans, abSenders := mkChans()
+	baChans, baSenders := mkChans()
+
+	cfg := SessionConfig{
+		Config: Config{
+			Quanta:    UniformQuanta(nch, 1500),
+			Markers:   MarkerPolicy{Every: 2, Position: 0},
+			Collector: colA,
+		},
+		// A window smaller than the traffic volume guarantees the
+		// sender stalls on credits at least once.
+		CreditWindow:   4096,
+		MarkerInterval: time.Millisecond,
+	}
+	bcfg := cfg
+	bcfg.Collector = colB
+
+	a, err := NewSession(abSenders, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSession(baSenders, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump := func(chans []*LocalChannel, dst *Session) {
+		for i, ch := range chans {
+			go func(i int, ch *LocalChannel) {
+				for p := range ch.Out() {
+					dst.Arrive(i, p)
+				}
+			}(i, ch)
+		}
+	}
+	pump(abChans, b)
+	pump(baChans, a)
+
+	const n = 200
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := a.SendBytes(make([]byte, 500)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	got := 0
+	for got < n {
+		if p := b.Recv(); p == nil {
+			t.Fatal("session closed early")
+		} else if p.Kind == KindData {
+			got++
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	sa := a.Snapshot()
+	st := a.SendStats()
+	var colPkts int64
+	for _, ch := range sa.Channels {
+		colPkts += ch.StripedPackets
+	}
+	if colPkts != st.DataPackets || st.DataPackets != n {
+		t.Fatalf("collector %d / stats %d / want %d data packets", colPkts, st.DataPackets, n)
+	}
+	// 200 * 500 B through a 2-channel 4 KiB-per-channel window must
+	// have exhausted credits at least once.
+	var blocked int64
+	for _, ch := range sa.Channels {
+		blocked += ch.BlockedSends
+	}
+	if blocked == 0 {
+		t.Fatal("no blocked sends despite credit window smaller than traffic")
+	}
+	if sa.CreditStall == 0 {
+		t.Fatal("no credit-stall time recorded")
+	}
+
+	sb := colB.Snapshot()
+	var delivered int64
+	for _, ch := range sb.Channels {
+		delivered += ch.DeliveredPackets
+	}
+	if delivered != n {
+		t.Fatalf("receive collector counted %d deliveries, want %d", delivered, n)
+	}
+	if rs := b.Stats(); rs.Delivered != n {
+		t.Fatalf("Stats().Delivered = %d, want %d", rs.Delivered, n)
+	}
+
+	a.Close()
+	b.Close()
+	for _, ch := range abChans {
+		ch.Close()
+	}
+	for _, ch := range baChans {
+		ch.Close()
+	}
+}

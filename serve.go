@@ -1,0 +1,68 @@
+package stripe
+
+import (
+	"errors"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"stripe/internal/obs"
+)
+
+// Server is the observability HTTP endpoint started by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP endpoint exposing the given collectors:
+//
+//	/metrics       Prometheus text exposition (all stripe_* metrics)
+//	/debug/vars    expvar, with each collector published as JSON
+//	/debug/pprof/  the standard net/http/pprof profiles
+//
+// addr is a TCP listen address such as ":9090" or "127.0.0.1:0"; use
+// Server.Addr to learn the bound address when the port was 0. The
+// endpoint reads collectors without locks and never touches the
+// protocol hot path. Close the returned Server to stop serving.
+func Serve(addr string, cols ...*Collector) (*Server, error) {
+	live := make([]*Collector, 0, len(cols))
+	for _, c := range cols {
+		if c != nil {
+			live = append(live, c)
+		}
+	}
+	if len(live) == 0 {
+		return nil, errors.New("stripe: Serve needs at least one non-nil Collector")
+	}
+	for _, c := range live {
+		c.PublishExpvar()
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, live...)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the endpoint.
+func (s *Server) Close() error { return s.srv.Close() }

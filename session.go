@@ -44,6 +44,7 @@ type Session struct {
 	gate   *flowcontrol.Gate
 	rs     *core.Resequencer
 	mgr    *flowcontrol.Manager
+	col    *Collector
 
 	closed chan struct{}
 	once   sync.Once
@@ -56,7 +57,7 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 	if len(cfg.Quanta) != n {
 		return nil, errors.New("stripe: Quanta must have one entry per channel")
 	}
-	s := &Session{closed: make(chan struct{})}
+	s := &Session{closed: make(chan struct{}), col: cfg.Collector}
 	s.txCond = sync.NewCond(&s.mu)
 	s.rxCond = sync.NewCond(&s.mu)
 
@@ -64,6 +65,7 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 	rcfg := core.ResequencerConfig{
 		Mode: cfg.Mode,
 		N:    n,
+		Obs:  cfg.Collector,
 		// Invoked from the receive path with s.mu already held.
 		OnMarker: func(c int, m packet.MarkerBlock) {
 			if m.Credits == 0 || s.gate == nil {
@@ -90,6 +92,7 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 		Channels: channels,
 		Markers:  cfg.markers(),
 		AddSeq:   cfg.AddSeq,
+		Obs:      cfg.Collector,
 	}
 	scfg.Sched, err = cfg.sched()
 	if err != nil {
@@ -107,6 +110,7 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 		if err != nil {
 			return nil, err
 		}
+		gate.SetObs(cfg.Collector)
 		s.gate = gate
 		s.mgr = mgr
 		scfg.Gate = gate
@@ -151,18 +155,33 @@ var ErrSessionClosed = errors.New("stripe: session closed")
 func (s *Session) Send(p *Packet) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var stalled time.Time
 	for {
 		select {
 		case <-s.closed:
+			s.noteStall(stalled)
 			return ErrSessionClosed
 		default:
 		}
 		err := s.st.Send(p)
 		if err != core.ErrGated {
+			s.noteStall(stalled)
 			return err
+		}
+		if s.col != nil && stalled.IsZero() {
+			stalled = time.Now()
 		}
 		s.txCond.Wait()
 	}
+}
+
+// noteStall charges the time since the first gated attempt of a Send
+// to the collector's credit-stall clock.
+func (s *Session) noteStall(since time.Time) {
+	if s.col == nil || since.IsZero() {
+		return
+	}
+	s.col.AddCreditStall(time.Since(since))
 }
 
 // SendBytes stripes a payload.
@@ -227,10 +246,32 @@ func (s *Session) Close() {
 }
 
 // Stats returns this end's receive counters.
-func (s *Session) Stats() core.ResequencerStats {
+func (s *Session) Stats() ReceiverStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.rs.Stats()
+}
+
+// SendStats returns this end's transmit counters, including the
+// per-channel data load.
+func (s *Session) SendStats() SenderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Stats()
+}
+
+// Snapshot returns the attached Collector's metrics (the zero Snapshot
+// when no Collector was configured). It briefly takes the session lock
+// to flush the batched transmit counters first, so the snapshot is
+// exact as of this call.
+func (s *Session) Snapshot() Snapshot {
+	if s.col == nil {
+		return Snapshot{}
+	}
+	s.mu.Lock()
+	s.st.SyncObs()
+	s.mu.Unlock()
+	return s.col.Snapshot()
 }
 
 // CreditRemaining reports the unused grant for channel c (0 when flow

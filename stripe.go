@@ -95,6 +95,11 @@ type Config struct {
 	// AddSeq stamps explicit sequence numbers on data packets — the
 	// "with header" variant, required for ModeSequence.
 	AddSeq bool
+	// Collector, when non-nil, receives runtime metrics and protocol
+	// events from every engine built with this Config. Size it with
+	// NewCollector(len(Quanta)). Expose it with Serve or read it with
+	// Snapshot. A nil Collector costs one pointer test per packet.
+	Collector *Collector
 }
 
 // NoMarkers disables periodic markers when assigned to Markers.Every.
@@ -124,8 +129,9 @@ func (c Config) markers() MarkerPolicy {
 // Sender stripes a FIFO packet stream across the channels. It is safe
 // for concurrent use.
 type Sender struct {
-	mu sync.Mutex
-	st *core.Striper
+	mu  sync.Mutex
+	st  *core.Striper
+	col *Collector
 }
 
 // NewSender builds the sending half over the given channels.
@@ -142,11 +148,12 @@ func NewSender(channels []ChannelSender, cfg Config) (*Sender, error) {
 		Channels: channels,
 		Markers:  cfg.markers(),
 		AddSeq:   cfg.AddSeq,
+		Obs:      cfg.Collector,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Sender{st: st}, nil
+	return &Sender{st: st, col: cfg.Collector}, nil
 }
 
 // Send stripes one packet. The payload is transmitted unmodified.
@@ -177,11 +184,26 @@ func (s *Sender) Reset() error {
 	return s.st.Reset()
 }
 
-// Stats reports sender counters.
-func (s *Sender) Stats() (dataPackets, dataBytes, markers int64) {
+// Stats reports the sender's protocol counters, including the
+// per-channel data load (the observable half of the fairness bound).
+func (s *Sender) Stats() SenderStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.st.SentData(), s.st.SentBytes(), s.st.SentMarkers()
+	return s.st.Stats()
+}
+
+// Snapshot returns the attached Collector's metrics (the zero Snapshot
+// when no Collector was configured). It briefly takes the sender lock
+// to flush the batched transmit counters first, so the snapshot is
+// exact as of this call.
+func (s *Sender) Snapshot() Snapshot {
+	if s.col == nil {
+		return Snapshot{}
+	}
+	s.mu.Lock()
+	s.st.SyncObs()
+	s.mu.Unlock()
+	return s.col.Snapshot()
 }
 
 // SentOn reports the data packets and payload bytes striped onto
@@ -199,6 +221,7 @@ type Receiver struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	rs     *core.Resequencer
+	col    *Collector
 	closed bool
 }
 
@@ -207,7 +230,7 @@ func NewReceiver(n int, cfg Config) (*Receiver, error) {
 	if len(cfg.Quanta) != n {
 		return nil, errors.New("stripe: Quanta must have one entry per channel")
 	}
-	rcfg := core.ResequencerConfig{Mode: cfg.Mode, N: n}
+	rcfg := core.ResequencerConfig{Mode: cfg.Mode, N: n, Obs: cfg.Collector}
 	if cfg.Mode == ModeLogical {
 		s, err := cfg.sched()
 		if err != nil {
@@ -219,7 +242,7 @@ func NewReceiver(n int, cfg Config) (*Receiver, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Receiver{rs: rs}
+	r := &Receiver{rs: rs, col: cfg.Collector}
 	r.cond = sync.NewCond(&r.mu)
 	return r, nil
 }
@@ -280,9 +303,13 @@ func (r *Receiver) Buffered() int {
 	return r.rs.Buffered()
 }
 
-// Stats reports receiver counters.
-func (r *Receiver) Stats() core.ResequencerStats {
+// Stats reports the receiver's protocol counters.
+func (r *Receiver) Stats() ReceiverStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.rs.Stats()
 }
+
+// Snapshot returns the attached Collector's metrics (the zero Snapshot
+// when no Collector was configured).
+func (r *Receiver) Snapshot() Snapshot { return r.col.Snapshot() }

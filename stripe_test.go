@@ -81,11 +81,11 @@ func TestEndToEndFIFO(t *testing.T) {
 		ch.Close()
 	}
 	pumps.Wait()
-	data, bytes, markers := tx.Stats()
-	if data != n || bytes == 0 {
-		t.Fatalf("sender stats: %d packets, %d bytes", data, bytes)
+	st := tx.Stats()
+	if st.DataPackets != n || st.DataBytes == 0 {
+		t.Fatalf("sender stats: %d packets, %d bytes", st.DataPackets, st.DataBytes)
 	}
-	if markers == 0 {
+	if st.Markers == 0 {
 		t.Fatal("default config sent no markers")
 	}
 }
@@ -311,7 +311,7 @@ func TestNoMarkersDisables(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, _, markers := tx.Stats(); markers != 0 {
+	if markers := tx.Stats().Markers; markers != 0 {
 		t.Fatalf("NoMarkers config sent %d markers", markers)
 	}
 }
