@@ -28,6 +28,21 @@
 // perfect FIFO without loss, quasi-FIFO under loss, resynchronizing
 // within roughly one marker period after losses stop.
 //
+// # Flow control and memory bounds
+//
+// Duplex Sessions piggyback credit-based flow control on markers. Each
+// marker carries the sender's cumulative byte position on its channel;
+// because channels are FIFO, the receiver computes the exact loss at
+// every marker arrival and re-grants consumed+lost+window, so credits
+// lost with dropped packets are reclaimed within a marker period and
+// the sender never wedges permanently (grants are folded monotonically,
+// making lost or reordered markers harmless). Config.MaxBuffered caps
+// resequencer memory: markers that no data precedes are drained eagerly
+// (an idle-but-markered direction stays at O(channels) occupancy), a
+// full buffer escalates to forced delivery past gaps, and at twice the
+// cap arrivals are dropped — no worse than channel loss, which the
+// protocol already survives.
+//
 // # Counters
 //
 // Sender.Stats and Session.SendStats return SenderStats, the
@@ -63,7 +78,8 @@
 // profiles on /debug/pprof/. Read it in-process with Snapshot (on the
 // Collector or on the Sender/Receiver/Session it is attached to), or
 // subscribe to discrete protocol transitions (resync, skip, reset,
-// self-heal, fast-forward, credit exhaustion) with Collector.AddSink —
+// self-heal, fast-forward, credit exhaustion, credit reconciliation,
+// resequencer overflow) with Collector.AddSink —
 // NewRingSink keeps the last n events, NewWriterSink logs one line
 // each. All of it is nil-safe: with no Collector configured the hot
 // path pays a single pointer test.

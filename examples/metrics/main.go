@@ -18,13 +18,14 @@
 // so a violation would be visible on a dashboard, not just in a test.
 // At exit the example scrapes its own endpoint and verifies the bound.
 //
-// Expect the data counters to freeze a couple of seconds in: credits
-// are granted against *delivered* bytes, so every byte the lossy
-// channels drop leaks from the credit window until the window is gone
-// and alice stalls for good (watch stripe_credit_remaining_bytes and
-// stripe_blocked_sends_total tell that story live). That is a real
-// property of delivery-based credits over loss without reconciliation
-// — the kind of pathology this endpoint exists to make visible.
+// The lossy channels also make the credit machinery visible: every
+// marker carries the sender's byte position, so bob writes dropped
+// bytes off as lost and grants them back, and alice's
+// stripe_credit_remaining_bytes saw-tooths instead of draining to zero
+// (stripe_credit_lost_bytes_total counts what reconciliation
+// reclaimed). Before grants were reconciled this example stalled for
+// good a couple of seconds in — the pathology the endpoint was built
+// to make visible, now the fix it demonstrates.
 package main
 
 import (

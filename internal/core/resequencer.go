@@ -59,6 +59,16 @@ type ResequencerConfig struct {
 	// sane configurations. Zero selects the default; negative disables
 	// self-healing.
 	SelfHealGap int64
+	// MaxBuffered caps the total packets held across the receiver's
+	// buffers, making resequencer memory hard-bounded. Above the cap
+	// the receiver escalates instead of growing: ordering is abandoned
+	// for the backlog (forced delivery, the same medicine a reset
+	// applies to ordering state) until occupancy falls to half the cap,
+	// and while occupancy exceeds twice the cap, arrivals other than
+	// resets are dropped — indistinguishable from channel loss, which
+	// the marker protocol already recovers from. Zero means unbounded
+	// (the seed behaviour).
+	MaxBuffered int
 	// Obs, when non-nil, receives per-channel metrics and protocol
 	// events (resync, skip, reset, self-heal, fast-forward). A nil
 	// collector disables instrumentation at the cost of one pointer
@@ -78,6 +88,9 @@ type ResequencerStats struct {
 	OldEpochDrops  int64 // packets discarded while waiting out a reset
 	SelfHeals      int64 // self-stabilization events (state adopted from markers)
 	FastForwards   int64 // round fast-forwards while every channel was skip-listed
+	EagerMarkers   int64 // markers consumed eagerly at arrival (no data precedes them)
+	Overflows      int64 // buffer-cap overflow escalations
+	OverflowDrops  int64 // arrivals discarded at the hard buffer cap
 }
 
 // Resequencer is the receiver engine. Drive it by pushing packets from
@@ -96,6 +109,16 @@ type Resequencer struct {
 	expect   []uint64
 	marked   []bool
 	onMarker func(int, packet.MarkerBlock)
+	// Pending marker slots for eager draining (round-based ModeLogical):
+	// a marker popped from the head of its buffer at arrival has its
+	// (round, deficit) staged here and applied when the scan next visits
+	// the channel — the same stream position a buffered marker would
+	// have been applied at, so scheduler-state conventions (mid-service
+	// adjustments in particular) are undisturbed. Later markers
+	// supersede earlier ones, so the slot bounds idle-direction marker
+	// memory at one per channel.
+	pending    []packet.MarkerBlock
+	pendingHas []bool
 
 	// Sequence state (ModeSequence).
 	nextSeq uint64
@@ -109,7 +132,15 @@ type Resequencer struct {
 	// Per-channel delivered byte counts, used by credit-based flow
 	// control to compute cumulative grants.
 	deliveredOn []int64
-	obs         *obs.Collector
+	// Per-channel cumulative data bytes physically arrived, the
+	// receiver half of the marker-position reconciliation: Sent (from
+	// the marker) minus arrivedOn is exactly the loss on the channel.
+	arrivedOn []int64
+	obs       *obs.Collector
+
+	// Memory bound state.
+	maxBuffered int  // 0 = unbounded
+	overflow    bool // escalated: deliver despite gaps until backlog halves
 	// maxSeenID tracks the highest striper-assigned packet ID delivered
 	// so far; a delivery below it is late by the difference, which is
 	// the reordering displacement the collector histograms.
@@ -159,6 +190,9 @@ func NewResequencer(cfg ResequencerConfig) (*Resequencer, error) {
 	if cfg.Obs != nil && cfg.Obs.N() != n {
 		return nil, fmt.Errorf("core: collector sized for %d channels, want %d", cfg.Obs.N(), n)
 	}
+	if cfg.MaxBuffered < 0 {
+		return nil, fmt.Errorf("core: negative buffer cap %d", cfg.MaxBuffered)
+	}
 	rr := &Resequencer{
 		mode:         cfg.Mode,
 		s:            cfg.Sched,
@@ -167,12 +201,16 @@ func NewResequencer(cfg ResequencerConfig) (*Resequencer, error) {
 		healGap:      healGap,
 		obs:          cfg.Obs,
 		maxSeenID:    -1,
+		maxBuffered:  cfg.MaxBuffered,
 		bufs:         make([]pktFIFO, n),
 		expect:       make([]uint64, n),
 		marked:       make([]bool, n),
+		pending:      make([]packet.MarkerBlock, n),
+		pendingHas:   make([]bool, n),
 		passed:       make([]bool, n),
 		onMarker:     cfg.OnMarker,
 		deliveredOn:  make([]int64, n),
+		arrivedOn:    make([]int64, n),
 		staleRound:   make([]uint64, n),
 		staleDeficit: make([]int64, n),
 		staleHas:     make([]bool, n),
@@ -193,6 +231,26 @@ func (r *Resequencer) Stats() ResequencerStats { return r.stats }
 // arrived on channel c. Credit-based flow control derives cumulative
 // grants from it.
 func (r *Resequencer) DeliveredBytesOn(c int) int64 { return r.deliveredOn[c] }
+
+// ArrivedBytesOn returns the cumulative data bytes physically received
+// on channel c, whether delivered, still buffered, or discarded.
+// Credit reconciliation subtracts it from a marker-carried sender
+// position to compute the channel's exact cumulative loss.
+func (r *Resequencer) ArrivedBytesOn(c int) int64 {
+	if c < 0 || c >= r.n {
+		return 0
+	}
+	return r.arrivedOn[c]
+}
+
+// BufferedBytesOn returns the data payload bytes currently buffered for
+// channel c (awaiting their turn in the delivery order).
+func (r *Resequencer) BufferedBytesOn(c int) int64 {
+	if c < 0 || c >= r.n {
+		return 0
+	}
+	return r.bufs[c].dataBytes
+}
 
 // Buffered returns the total number of packets waiting in per-channel
 // buffers (plus, in ModeNone, the delivery queue).
@@ -217,6 +275,13 @@ func (r *Resequencer) arrive(c int, p *packet.Packet) {
 	if c < 0 || c >= r.n {
 		return // unknown channel: drop defensively
 	}
+	if p.Kind == packet.Data {
+		// Count every physical data arrival, delivered or not: the
+		// reconciliation identity loss = Sent − arrived needs the raw
+		// arrival position, and bytes later discarded (old epochs,
+		// overflow) must still be credited back to the sender.
+		r.arrivedOn[c] += int64(p.Len())
+	}
 	if r.resetting && !r.passed[c] {
 		// Waiting for this channel's reset boundary: everything before
 		// it belongs to the old epoch.
@@ -235,6 +300,9 @@ func (r *Resequencer) arrive(c int, p *packet.Packet) {
 	case ModeNone:
 		switch p.Kind {
 		case packet.Data:
+			if r.enforceCap(c) {
+				return
+			}
 			// In arrival-order mode delivery is immediate, so the drain
 			// accounting used by flow control happens here.
 			r.deliveredOn[c] += int64(p.Len())
@@ -255,7 +323,85 @@ func (r *Resequencer) arrive(c int, p *packet.Packet) {
 			r.applyReset(c, p)
 		}
 	default:
+		if p.Kind != packet.Reset && r.enforceCap(c) {
+			return
+		}
 		r.bufs[c].push(p)
+		r.drainEagerMarkers(c)
+	}
+}
+
+// enforceCap implements the buffer memory bound. It reports whether an
+// arriving packet must be dropped outright (occupancy at twice the
+// cap), and crossing the cap itself flips the receiver into overflow
+// escalation: Next abandons strict order for the backlog until
+// occupancy falls to half the cap. Dropping at the hard cap is safe by
+// construction — to the protocol it is indistinguishable from channel
+// loss, which markers already recover from — and it is what a real
+// finite receive buffer does.
+func (r *Resequencer) enforceCap(c int) (drop bool) {
+	if r.maxBuffered == 0 {
+		return false
+	}
+	total := r.Buffered()
+	if total >= 2*r.maxBuffered {
+		r.stats.OverflowDrops++
+		r.obs.OnReseqOverflow(c, int64(total), true)
+		return true
+	}
+	if total >= r.maxBuffered && !r.overflow {
+		r.overflow = true
+		r.stats.Overflows++
+		r.obs.OnReseqOverflow(c, int64(total), false)
+	}
+	return false
+}
+
+// drainEagerMarkers consumes control packets sitting at the head of
+// channel c's buffer immediately. A marker at the head has no data
+// packet preceding it on its own FIFO channel, and consuming a marker
+// is not a delivery, so nothing in the delivery order can precede it
+// either — buffering it would only delay its synchronization state.
+// Without this, an idle-but-markered direction accumulates markers
+// without bound on channels the receiver simulation is not visiting.
+func (r *Resequencer) drainEagerMarkers(c int) {
+	for {
+		p, ok := r.bufs[c].peek()
+		if !ok {
+			return
+		}
+		switch p.Kind {
+		case packet.Marker:
+			r.bufs[c].pop()
+			m, err := packet.MarkerOf(p)
+			if err != nil {
+				r.stats.BadMarkers++
+				r.obs.OnBadMarker()
+				continue
+			}
+			r.stats.Markers++
+			r.stats.EagerMarkers++
+			r.obs.OnMarkerConsumed(c)
+			r.obs.OnMarkerDrained(c)
+			if r.onMarker != nil {
+				r.onMarker(c, m)
+			}
+			if r.mode == ModeLogical && r.s != nil {
+				// Applying scheduler state here would happen at an
+				// arbitrary simulation position; stage it instead for the
+				// scan to apply at the marker's true stream position. A
+				// newer marker supersedes a staged one: the scan would
+				// have applied them back to back with no data in between,
+				// and the last application wins.
+				r.pending[c] = m
+				r.pendingHas[c] = true
+			}
+		case packet.Credit:
+			// Credits belong on the reverse path; tolerate and drop.
+			r.bufs[c].pop()
+		default:
+			return
+		}
 	}
 }
 
@@ -299,6 +445,27 @@ func (r *Resequencer) Next() (*packet.Packet, bool) {
 }
 
 func (r *Resequencer) next() (*packet.Packet, bool) {
+	// Overflow escalation ends once the backlog has halved (hysteresis,
+	// so a buffer hovering at the cap does not flap in and out of forced
+	// delivery).
+	if r.overflow && r.Buffered() <= r.maxBuffered/2 {
+		r.overflow = false
+	}
+	for {
+		p, ok := r.dispatch()
+		if ok {
+			return p, true
+		}
+		// Blocked. Under overflow escalation, blocking is what grows the
+		// buffer without bound, so force the discipline past the gap —
+		// the same medicine Drain applies at end of stream.
+		if !r.overflow || r.Buffered() == 0 || !r.forceAdvance() {
+			return nil, false
+		}
+	}
+}
+
+func (r *Resequencer) dispatch() (*packet.Packet, bool) {
 	switch r.mode {
 	case ModeNone:
 		return r.arrivq.pop()
@@ -309,6 +476,55 @@ func (r *Resequencer) next() (*packet.Packet, bool) {
 			return r.nextCausal()
 		}
 		return r.nextLogical()
+	}
+}
+
+// forceAdvance pushes a blocked delivery discipline past the channel or
+// sequence gap it is waiting on, abandoning strict order for the
+// backlog. It reports whether another delivery attempt is worthwhile.
+// Reordering here is equivalent to unrecovered loss followed by
+// quasi-FIFO resumption, which downstream consumers already tolerate.
+func (r *Resequencer) forceAdvance() bool {
+	switch r.mode {
+	case ModeLogical:
+		if r.cs != nil {
+			// Round-less causal simulation: charge a phantom packet to
+			// move the automaton past the exhausted channel.
+			r.cs.Account(1)
+			return true
+		}
+		// Abandon the blocked channel's service and clear any skip marks
+		// that could spin the scan.
+		for i := range r.marked {
+			r.marked[i] = false
+		}
+		r.s.EndService()
+		return true
+	case ModeSequence:
+		// Release the smallest buffered sequence number.
+		min, ch := uint64(0), -1
+		for c := 0; c < r.n; c++ {
+			if p, ok := r.bufs[c].peek(); ok && p.Kind == packet.Data && p.HasSeq {
+				if ch == -1 || p.Seq < min {
+					min, ch = p.Seq, c
+				}
+			}
+		}
+		if ch == -1 {
+			// Only control packets remain; consume them.
+			advanced := false
+			for c := 0; c < r.n; c++ {
+				for r.bufs[c].len() > 0 {
+					r.bufs[c].pop()
+					advanced = true
+				}
+			}
+			return advanced
+		}
+		r.nextSeq = min
+		return true
+	default:
+		return false
 	}
 }
 
@@ -388,6 +604,14 @@ func (r *Resequencer) nextLogical() (*packet.Packet, bool) {
 	for {
 		r.maybeFastForward()
 		c := r.s.SelectFor(r.skipRule)
+		if r.pendingHas[c] {
+			// An eagerly drained marker staged for this channel: the scan
+			// has now consumed everything that preceded it, which is the
+			// position its scheduler state speaks about.
+			r.pendingHas[c] = false
+			r.applyMarker(c, r.pending[c])
+			continue
+		}
 		p, ok := r.bufs[c].peek()
 		if !ok {
 			// Logical reception blocks here until channel c produces the
@@ -635,8 +859,10 @@ func (r *Resequencer) applyReset(c int, p *packet.Packet) {
 		r.passed[i] = false
 		r.marked[i] = false
 		r.expect[i] = 0
+		r.pendingHas[i] = false // staged markers are from the old epoch
 	}
 	r.nextSeq = 0
+	r.overflow = false // the flush below empties the buffers
 	if r.s != nil {
 		r.s.Reset()
 	}
@@ -700,42 +926,7 @@ func (r *Resequencer) Drain() []*packet.Packet {
 			out = append(out, p)
 			continue
 		}
-		switch r.mode {
-		case ModeLogical:
-			if r.cs != nil {
-				// Round-less causal simulation: charge a phantom packet
-				// to move the automaton past the exhausted channel.
-				r.cs.Account(1)
-				continue
-			}
-			// Blocked on an empty channel: abandon its service and clear
-			// any skip marks that could spin the scan.
-			for i := range r.marked {
-				r.marked[i] = false
-			}
-			r.s.EndService()
-		case ModeSequence:
-			// Blocked on a gap that cannot fill: release the smallest
-			// buffered sequence number.
-			min, ch := uint64(0), -1
-			for c := 0; c < r.n; c++ {
-				if p, ok := r.bufs[c].peek(); ok && p.Kind == packet.Data && p.HasSeq {
-					if ch == -1 || p.Seq < min {
-						min, ch = p.Seq, c
-					}
-				}
-			}
-			if ch == -1 {
-				// Only control packets remain; consume them.
-				for c := 0; c < r.n; c++ {
-					for r.bufs[c].len() > 0 {
-						r.bufs[c].pop()
-					}
-				}
-				continue
-			}
-			r.nextSeq = min
-		default:
+		if !r.forceAdvance() {
 			return out
 		}
 	}
@@ -746,9 +937,18 @@ func (r *Resequencer) Drain() []*packet.Packet {
 type pktFIFO struct {
 	buf  []*packet.Packet
 	head int
+	// dataBytes tracks the payload bytes of buffered Data packets, so
+	// flow-control reconciliation can read per-channel buffered bytes in
+	// O(1).
+	dataBytes int64
 }
 
-func (f *pktFIFO) push(p *packet.Packet) { f.buf = append(f.buf, p) }
+func (f *pktFIFO) push(p *packet.Packet) {
+	if p.Kind == packet.Data {
+		f.dataBytes += int64(len(p.Payload))
+	}
+	f.buf = append(f.buf, p)
+}
 
 func (f *pktFIFO) len() int { return len(f.buf) - f.head }
 
@@ -764,6 +964,9 @@ func (f *pktFIFO) pop() (*packet.Packet, bool) {
 		return nil, false
 	}
 	p := f.buf[f.head]
+	if p.Kind == packet.Data {
+		f.dataBytes -= int64(len(p.Payload))
+	}
 	f.buf[f.head] = nil
 	f.head++
 	if f.head == len(f.buf) {
@@ -783,4 +986,5 @@ func (f *pktFIFO) pop() (*packet.Packet, bool) {
 func (f *pktFIFO) clear() {
 	f.buf = f.buf[:0]
 	f.head = 0
+	f.dataBytes = 0
 }

@@ -243,6 +243,7 @@ func (st *Striper) emitBatch() {
 			Channel: uint32(c),
 			Round:   st.rb.NextServiceRound(c),
 			Deficit: d,
+			Sent:    uint64(st.sentOn[c]),
 		}
 		if st.markerCredits != nil {
 			mb.Credits = st.markerCredits(c)

@@ -3,14 +3,30 @@
 // their own (Section 6.3), following Kung and Chapman's flow-controlled
 // virtual channels (FCVC): the receiver grants cumulative byte credits
 // per channel, and the sender never lets a channel's cumulative sent
-// bytes exceed its grant. With the grant set to delivered-bytes + W, at
+// bytes exceed its grant. With the grant set to consumed-bytes + W, at
 // most W bytes can ever occupy the channel plus the receive buffer, so
 // a receive buffer of W bytes cannot overflow — eliminating congestion
 // loss entirely.
 //
+// # Loss-resilient reconciliation
+//
+// Keying grants to *delivered* bytes alone leaks window over lossy
+// channels: a byte lost in flight is never delivered, so the receiver's
+// grant stops W bytes past it and the sender stalls permanently once
+// cumulative loss reaches W. The fix is to reconcile from the sender's
+// own position: every marker carries the cumulative bytes the sender
+// has put on the channel (MarkerBlock.Sent). Because channels are FIFO,
+// everything sent before the marker has either arrived or is lost by
+// the time the marker arrives, so the receiver computes the exact
+// cumulative loss L = Sent − arrived and grants consumed + L + W.
+// Lost bytes are thereby granted back automatically — the credit table
+// is self-healing after any loss burst — while the occupancy invariant
+// is preserved: the sender's unacked-but-not-lost bytes (in flight plus
+// buffered) still never exceed W.
+//
 // Credits travel on the reverse path as Credit packets, and the paper
 // notes they piggyback naturally on the periodic marker traffic; the
-// CreditManager emits one grant per channel on demand so the harness can
+// Manager emits one grant per channel on demand so the harness can
 // send them at marker cadence.
 package flowcontrol
 
@@ -24,9 +40,10 @@ import (
 // Gate is the sender-side credit table. It implements core.Gate. It is
 // a pure state machine; synchronise externally if shared.
 type Gate struct {
-	sent  []int64
-	grant []int64
-	obs   *obs.Collector
+	sent   []int64
+	grant  []int64
+	window int64
+	obs    *obs.Collector
 }
 
 // SetObs attaches a collector; the gate keeps its per-channel
@@ -47,7 +64,7 @@ func NewGate(n int, w int64) (*Gate, error) {
 	if w < 0 {
 		return nil, fmt.Errorf("flowcontrol: negative initial window %d", w)
 	}
-	g := &Gate{sent: make([]int64, n), grant: make([]int64, n)}
+	g := &Gate{sent: make([]int64, n), grant: make([]int64, n), window: w}
 	for i := range g.grant {
 		g.grant[i] = w
 	}
@@ -55,13 +72,21 @@ func NewGate(n int, w int64) (*Gate, error) {
 }
 
 // Admit reports whether a packet of the given size fits channel c's
-// remaining credit.
+// remaining credit. Out-of-range channels admit nothing.
 func (g *Gate) Admit(c int, size int) bool {
+	if c < 0 || c >= len(g.grant) || size < 0 {
+		return false
+	}
 	return g.sent[c]+int64(size) <= g.grant[c]
 }
 
 // Consume charges a transmitted packet against channel c's credit.
+// Out-of-range channels and negative sizes are ignored: the gate never
+// lets a bad caller corrupt the credit table.
 func (g *Gate) Consume(c int, size int) {
+	if c < 0 || c >= len(g.grant) || size < 0 {
+		return
+	}
 	g.sent[c] += int64(size)
 	g.obs.SetCreditRemaining(c, g.grant[c]-g.sent[c])
 }
@@ -69,14 +94,29 @@ func (g *Gate) Consume(c int, size int) {
 // ApplyGrant raises channel c's cumulative grant. Grants are monotone:
 // a stale (lower) grant is ignored, so credit packets may be lost,
 // reordered or duplicated without harm.
-func (g *Gate) ApplyGrant(c int, grant int64) {
+//
+// Grants arrive off the wire, so they are validated rather than
+// trusted: an out-of-range channel, a negative grant (a corrupt uint64
+// cast), or a grant further ahead of the sender's position than the
+// window permits (the receiver can never legitimately grant beyond
+// sent + W, because everything it has consumed or written off as lost
+// was first sent) returns an error and leaves the table untouched.
+func (g *Gate) ApplyGrant(c int, grant int64) error {
 	if c < 0 || c >= len(g.grant) {
-		return
+		return fmt.Errorf("flowcontrol: grant for channel %d outside [0,%d)", c, len(g.grant))
+	}
+	if grant < 0 {
+		return fmt.Errorf("flowcontrol: negative grant %d for channel %d", grant, c)
+	}
+	if grant > g.sent[c]+g.window {
+		return fmt.Errorf("flowcontrol: grant %d for channel %d exceeds sent %d + window %d",
+			grant, c, g.sent[c], g.window)
 	}
 	if grant > g.grant[c] {
 		g.grant[c] = grant
 		g.obs.SetCreditRemaining(c, g.grant[c]-g.sent[c])
 	}
+	return nil
 }
 
 // ApplyCredit applies a credit packet to the table.
@@ -85,23 +125,43 @@ func (g *Gate) ApplyCredit(p *packet.Packet) error {
 	if err != nil {
 		return err
 	}
-	g.ApplyGrant(int(cb.Channel), int64(cb.Grant))
-	return nil
+	return g.ApplyGrant(int(cb.Channel), int64(cb.Grant))
 }
 
-// Remaining returns channel c's unused credit in bytes.
-func (g *Gate) Remaining(c int) int64 { return g.grant[c] - g.sent[c] }
+// Remaining returns channel c's unused credit in bytes (zero for
+// out-of-range channels).
+func (g *Gate) Remaining(c int) int64 {
+	if c < 0 || c >= len(g.grant) {
+		return 0
+	}
+	return g.grant[c] - g.sent[c]
+}
 
-// Manager is the receiver-side credit issuer.
+// Sent returns the cumulative bytes charged against channel c.
+func (g *Gate) Sent(c int) int64 {
+	if c < 0 || c >= len(g.sent) {
+		return 0
+	}
+	return g.sent[c]
+}
+
+// Manager is the receiver-side credit issuer. It grants each channel a
+// window of W bytes past the position the sender no longer occupies:
+// bytes the receiver has consumed plus bytes reconciled as lost from
+// marker-carried sender positions.
 type Manager struct {
 	window    int64
 	delivered func(c int) int64
 	n         int
+	lost      []int64 // cumulative bytes written off per channel (monotone)
+	floor     []int64 // monotone grant floor from sender-position reconciliation
+	obs       *obs.Collector
 }
 
 // NewManager returns a manager granting a window of w bytes per channel
 // above the cumulative delivered-byte count reported by the callback
-// (typically Resequencer.DeliveredBytesOn).
+// (typically Resequencer.DeliveredBytesOn), plus any loss reconciled
+// via Reconcile.
 func NewManager(n int, w int64, delivered func(c int) int64) (*Manager, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("flowcontrol: need positive channel count, got %d", n)
@@ -112,11 +172,78 @@ func NewManager(n int, w int64, delivered func(c int) int64) (*Manager, error) {
 	if delivered == nil {
 		return nil, fmt.Errorf("flowcontrol: nil delivered callback")
 	}
-	return &Manager{window: w, delivered: delivered, n: n}, nil
+	return &Manager{
+		window:    w,
+		delivered: delivered,
+		n:         n,
+		lost:      make([]int64, n),
+		floor:     make([]int64, n),
+	}, nil
 }
 
-// GrantFor returns the current cumulative grant for channel c.
-func (m *Manager) GrantFor(c int) int64 { return m.delivered(c) + m.window }
+// SetObs attaches a collector; the manager counts reconciliations and
+// the bytes they wrote off as lost.
+func (m *Manager) SetObs(c *obs.Collector) { m.obs = c }
+
+// Reconcile folds a marker-carried sender position into the grant for
+// channel c. senderSent is MarkerBlock.Sent; arrived and buffered are
+// the receiver's cumulative data-byte arrival count and current
+// buffered data bytes on the channel, read at the instant the marker
+// arrived (the FIFO point at which in-flight bytes from before the
+// marker are exactly zero). It returns the bytes newly written off as
+// lost. Stale, duplicated or reordered marker positions are harmless:
+// every quantity involved is folded in with a monotone max.
+func (m *Manager) Reconcile(c int, senderSent, arrived, buffered int64) (int64, error) {
+	if c < 0 || c >= m.n {
+		return 0, fmt.Errorf("flowcontrol: reconcile for channel %d outside [0,%d)", c, m.n)
+	}
+	if senderSent < 0 || arrived < 0 || buffered < 0 {
+		return 0, fmt.Errorf("flowcontrol: negative reconcile position (sent=%d arrived=%d buffered=%d)",
+			senderSent, arrived, buffered)
+	}
+	var wroteOff int64
+	// Cumulative loss on c as of the marker. A position older than one
+	// already reconciled yields a smaller value and is ignored.
+	if loss := senderSent - arrived; loss > m.lost[c] {
+		wroteOff = loss - m.lost[c]
+		m.lost[c] = loss
+		if m.obs != nil {
+			m.obs.OnCreditReconciled(c, wroteOff)
+		}
+	}
+	// Grant floor: the sender may run W bytes past everything that has
+	// left the pipeline, i.e. up to Sent + (W − buffered). Equivalent to
+	// consumed + lost + W with consumed = arrived − buffered, which also
+	// credits bytes the receiver dropped (old epochs, overflow) without
+	// delivering.
+	if f := senderSent + m.window - buffered; f > m.floor[c] {
+		m.floor[c] = f
+	}
+	return wroteOff, nil
+}
+
+// LostBytes returns the cumulative bytes written off as lost on c.
+func (m *Manager) LostBytes(c int) int64 {
+	if c < 0 || c >= m.n {
+		return 0
+	}
+	return m.lost[c]
+}
+
+// GrantFor returns the current cumulative grant for channel c: the
+// larger of the reconciled floor and delivered + lost + window (the
+// latter keeps credits flowing between markers as the application
+// drains the resequencer).
+func (m *Manager) GrantFor(c int) int64 {
+	if c < 0 || c >= m.n {
+		return 0
+	}
+	g := m.delivered(c) + m.lost[c] + m.window
+	if m.floor[c] > g {
+		g = m.floor[c]
+	}
+	return g
+}
 
 // CreditPackets builds one credit packet per channel carrying the
 // current grants, for transmission on the reverse path (at marker

@@ -34,20 +34,25 @@ func TestGateAdmitConsume(t *testing.T) {
 
 func TestGateGrantMonotone(t *testing.T) {
 	g, _ := NewGate(1, 100)
-	g.ApplyGrant(0, 500)
-	if g.Remaining(0) != 500 {
-		t.Fatalf("remaining = %d", g.Remaining(0))
+	g.Consume(0, 80)
+	if err := g.ApplyGrant(0, 150); err != nil {
+		t.Fatal(err)
 	}
-	g.ApplyGrant(0, 300) // stale: ignored
-	if g.Remaining(0) != 500 {
-		t.Fatalf("stale grant lowered credit to %d", g.Remaining(0))
+	if g.Remaining(0) != 70 {
+		t.Fatalf("remaining = %d, want 70", g.Remaining(0))
 	}
-	g.ApplyGrant(5, 999) // out of range: ignored
+	if err := g.ApplyGrant(0, 120); err != nil { // stale: ignored, not an error
+		t.Fatal(err)
+	}
+	if g.Remaining(0) != 70 {
+		t.Fatalf("stale grant changed credit to %d", g.Remaining(0))
+	}
 }
 
 func TestGateApplyCredit(t *testing.T) {
-	g, _ := NewGate(2, 0)
-	p := packet.NewCredit(packet.CreditBlock{Channel: 1, Grant: 4096})
+	g, _ := NewGate(2, 4096)
+	g.Consume(1, 1000)
+	p := packet.NewCredit(packet.CreditBlock{Channel: 1, Grant: 5096})
 	if err := g.ApplyCredit(p); err != nil {
 		t.Fatal(err)
 	}
@@ -56,6 +61,111 @@ func TestGateApplyCredit(t *testing.T) {
 	}
 	if err := g.ApplyCredit(packet.NewDataSized(8)); err == nil {
 		t.Fatal("data packet accepted as credit")
+	}
+}
+
+// TestGateGuards pins the gate's wire-input validation: grants are
+// untrusted, and a bad one must leave the credit table untouched.
+func TestGateGuards(t *testing.T) {
+	g, _ := NewGate(2, 100)
+	if err := g.ApplyGrant(-1, 50); err == nil {
+		t.Error("negative channel accepted")
+	}
+	if err := g.ApplyGrant(2, 50); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
+	if err := g.ApplyGrant(0, -1); err == nil {
+		t.Error("negative grant accepted")
+	}
+	// A receiver can never legitimately grant past sent + window: such a
+	// grant is corrupt (or an overflowed cast) and must be refused, or a
+	// single bad credit packet would let the sender overrun the peer's
+	// buffers by an arbitrary amount.
+	if err := g.ApplyGrant(0, 201); err == nil {
+		t.Error("grant beyond sent+window accepted")
+	}
+	if err := g.ApplyGrant(0, int64(^uint64(0)>>1)); err == nil {
+		t.Error("overflowing grant accepted")
+	}
+	for c := 0; c < 2; c++ {
+		if g.Remaining(c) != 100 {
+			t.Fatalf("rejected grants changed channel %d credit to %d", c, g.Remaining(c))
+		}
+	}
+	// Exactly at the bound is legitimate (receiver consumed everything).
+	g.Consume(0, 60)
+	if err := g.ApplyGrant(0, 160); err != nil {
+		t.Fatal(err)
+	}
+	if g.Remaining(0) != 100 {
+		t.Fatalf("remaining = %d, want 100", g.Remaining(0))
+	}
+	// Defensive accessors and mutators.
+	if g.Admit(-1, 10) || g.Admit(2, 10) || g.Admit(0, -1) {
+		t.Error("bad Admit input admitted")
+	}
+	g.Consume(-1, 10)
+	g.Consume(2, 10)
+	g.Consume(0, -5)
+	if g.Remaining(-1) != 0 || g.Remaining(2) != 0 || g.Sent(2) != 0 {
+		t.Error("out-of-range accessor returned nonzero")
+	}
+	if g.Sent(0) != 60 {
+		t.Fatalf("bad Consume input corrupted sent to %d", g.Sent(0))
+	}
+}
+
+// TestManagerReconcile pins the loss write-off math: grant floor
+// = senderSent + W − buffered, loss = senderSent − arrived, both folded
+// monotonically so stale or duplicated marker positions are harmless.
+func TestManagerReconcile(t *testing.T) {
+	delivered := []int64{0, 0}
+	m, err := NewManager(2, 1000, func(c int) int64 { return delivered[c] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sender put 5000 bytes on channel 0; 3800 arrived (1200 lost), 300
+	// of those still buffered, 3500 delivered.
+	delivered[0] = 3500
+	wrote, err := m.Reconcile(0, 5000, 3800, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote != 1200 {
+		t.Fatalf("wrote off %d, want 1200", wrote)
+	}
+	if m.LostBytes(0) != 1200 {
+		t.Fatalf("lost = %d", m.LostBytes(0))
+	}
+	// Grant = max(floor, delivered+lost+W): floor = 5000+1000−300 = 5700,
+	// delivered path = 3500+1200+1000 = 5700. They agree at the marker.
+	if got := m.GrantFor(0); got != 5700 {
+		t.Fatalf("grant = %d, want 5700", got)
+	}
+	// The application drains the 300 buffered bytes: the delivered path
+	// moves the grant past the floor.
+	delivered[0] = 3800
+	if got := m.GrantFor(0); got != 6000 {
+		t.Fatalf("grant = %d, want 6000", got)
+	}
+	// A stale (duplicated or reordered) position is a no-op.
+	wrote, err = m.Reconcile(0, 4000, 3800, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote != 0 || m.LostBytes(0) != 1200 || m.GrantFor(0) != 6000 {
+		t.Fatalf("stale position changed state: wrote=%d lost=%d grant=%d",
+			wrote, m.LostBytes(0), m.GrantFor(0))
+	}
+	// Guards.
+	if _, err := m.Reconcile(2, 0, 0, 0); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
+	if _, err := m.Reconcile(0, -1, 0, 0); err == nil {
+		t.Error("negative position accepted")
+	}
+	if m.LostBytes(-1) != 0 || m.GrantFor(9) != 0 {
+		t.Error("out-of-range accessor returned nonzero")
 	}
 }
 

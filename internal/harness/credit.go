@@ -111,7 +111,9 @@ func runCredit(cfg Config) *Result {
 			// Credits refreshed at marker cadence.
 			if withCredits && iter%8 == 0 {
 				for c := 0; c < nch; c++ {
-					gate.ApplyGrant(c, mgr.GrantFor(c))
+					if err := gate.ApplyGrant(c, mgr.GrantFor(c)); err != nil {
+						panic(err)
+					}
 				}
 			}
 		}

@@ -1,0 +1,297 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"stripe/internal/channel"
+	"stripe/internal/core"
+	"stripe/internal/flowcontrol"
+	"stripe/internal/obs"
+	"stripe/internal/packet"
+	"stripe/internal/sched"
+	"stripe/internal/stats"
+	"stripe/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "faults",
+		Title: "Fault injection: credit reconciliation keeps lossy channels live, buffers bounded",
+		Run:   runFaults,
+	})
+}
+
+// ChannelFaults is the fault schedule for one channel.
+type ChannelFaults struct {
+	// Loss is the i.i.d. drop probability.
+	Loss float64
+	// Burst layers a Gilbert–Elliott burst-loss process on top.
+	Burst channel.GilbertElliott
+	// Outages are [start, end) iteration windows during which the
+	// channel delivers nothing (the pump stalls), modelling latency
+	// spikes; relative to the other channels this reorders traffic.
+	Outages [][2]int
+}
+
+func (f ChannelFaults) out(iter int) bool {
+	for _, w := range f.Outages {
+		if iter >= w[0] && iter < w[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultPlan is a full per-channel fault schedule plus reverse-path
+// impairments.
+type FaultPlan struct {
+	// Channels holds one schedule per channel; its length sets the
+	// channel count.
+	Channels []ChannelFaults
+	// CreditLossEvery drops every k-th credit refresh on the reverse
+	// path (0 = lossless reverse path). Grants are cumulative, so a
+	// later refresh recovers the dropped one.
+	CreditLossEvery int
+}
+
+// FaultReport is the outcome of one fault-injection run.
+type FaultReport struct {
+	Sent           int   // data packets accepted by the striper
+	Target         int   // data packets the run aimed to send
+	Delivered      int   // packets the receiver handed up
+	MaxGatedStreak int   // longest run of consecutive gated send attempts
+	MaxBuffered    int64 // resequencer occupancy high-water (packets)
+	LostReconciled int64 // bytes written off as lost and re-granted
+	Overflows      int64 // resequencer overflow escalations
+	Stalled        bool  // the sender wedged permanently on credits
+}
+
+// stallPatience is how many consecutive gated send attempts — each with
+// the pump, the consumer, marker emission and credit refresh all still
+// running — the harness tolerates before declaring the sender
+// permanently stalled. Transient gating clears within one marker/credit
+// cycle, so this is orders of magnitude past any legitimate stall.
+const stallPatience = 4000
+
+// RunFaults drives one striper/resequencer pair through the fault plan
+// with credit-based flow control (window w per channel, resequencer
+// buffers capped at maxBuffered packets) until total data packets are
+// sent or the sender stalls. With reconcile false the receiver grants
+// from delivered bytes only — the pre-reconciliation behaviour whose
+// credit leak this harness exists to demonstrate; with reconcile true
+// grants are reconciled from marker-carried sender positions. The col
+// collector is optional; when given it must be sized for the plan's
+// channel count.
+func RunFaults(plan FaultPlan, seed int64, w int64, maxBuffered, total int, reconcile bool, col *obs.Collector) FaultReport {
+	nch := len(plan.Channels)
+	quanta := sched.UniformQuanta(nch, 1500)
+	queues := make([]*channel.Queue, nch)
+	senders := make([]channel.Sender, nch)
+	for i, f := range plan.Channels {
+		queues[i] = channel.NewQueue(channel.Impairments{
+			Loss:  f.Loss,
+			Burst: f.Burst,
+			Seed:  seed + int64(i)*7919,
+		})
+		senders[i] = queues[i]
+	}
+	gate, err := flowcontrol.NewGate(nch, w)
+	if err != nil {
+		panic(err)
+	}
+	gate.SetObs(col)
+	st, err := core.NewStriper(core.StriperConfig{
+		Sched:    sched.MustSRR(quanta),
+		Channels: senders,
+		Markers:  core.MarkerPolicy{Every: 4, Position: 0},
+		Gate:     gate,
+		Obs:      col,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rs, err := core.NewResequencer(core.ResequencerConfig{
+		Sched:       sched.MustSRR(quanta),
+		Mode:        core.ModeLogical,
+		MaxBuffered: maxBuffered,
+		Obs:         col,
+	})
+	if err != nil {
+		panic(err)
+	}
+	mgr, err := flowcontrol.NewManager(nch, w, rs.DeliveredBytesOn)
+	if err != nil {
+		panic(err)
+	}
+	mgr.SetObs(col)
+
+	sizes := trace.NewBimodal(300, 1100, 0.5, seed+13)
+	rep := FaultReport{Target: total}
+	streak, refreshes := 0, 0
+	pump := func(c int) {
+		p, ok := queues[c].Recv()
+		if !ok {
+			return
+		}
+		if p.Kind == packet.Marker {
+			// The FIFO point: everything the sender put on c before this
+			// marker has arrived or is lost, so reconcile the credit
+			// state from the marker's sender position before the
+			// resequencer sees it.
+			if m, err := packet.MarkerOf(p); err == nil && reconcile {
+				if _, err := mgr.Reconcile(c, int64(m.Sent),
+					rs.ArrivedBytesOn(c), rs.BufferedBytesOn(c)); err != nil {
+					panic(err)
+				}
+			}
+		}
+		rs.Arrive(c, p)
+	}
+	for iter := 0; rep.Sent < total; iter++ {
+		switch err := st.Send(packet.NewDataSized(sizes.Next())); err {
+		case nil:
+			rep.Sent++
+			streak = 0
+		case core.ErrGated:
+			streak++
+			if streak > rep.MaxGatedStreak {
+				rep.MaxGatedStreak = streak
+			}
+			if streak >= stallPatience {
+				rep.Stalled = true
+				rep.MaxBuffered = maxInt64(rep.MaxBuffered, int64(rs.Buffered()))
+				rep.Overflows = rs.Stats().Overflows
+				rep.LostReconciled = lostTotal(mgr, nch)
+				return rep
+			}
+		default:
+			panic(err)
+		}
+		// Markers keep flowing while the data path is gated — exactly
+		// the behaviour the timer-driven EmitMarkers provides in the
+		// session — so reconciliation state keeps moving during a stall.
+		if iter%16 == 0 {
+			st.EmitMarkers()
+		}
+		// Pump each channel that is not in an outage window.
+		for c := range queues {
+			if !plan.Channels[c].out(iter) {
+				pump(c)
+			}
+		}
+		if occ := int64(rs.Buffered()); occ > rep.MaxBuffered {
+			rep.MaxBuffered = occ
+		}
+		// The consumer drains at a bounded rate.
+		for k := 0; k < 2; k++ {
+			if _, ok := rs.Next(); ok {
+				rep.Delivered++
+			}
+		}
+		// Credits refresh at marker cadence over a (possibly lossy)
+		// reverse path.
+		if iter%16 == 8 {
+			refreshes++
+			if plan.CreditLossEvery > 0 && refreshes%plan.CreditLossEvery == 0 {
+				continue
+			}
+			for c := 0; c < nch; c++ {
+				if err := gate.ApplyGrant(c, mgr.GrantFor(c)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	// Let outages end and the tail drain.
+	for i := 0; i < 64; i++ {
+		for c := range queues {
+			pump(c)
+		}
+		for {
+			p, ok := rs.Next()
+			if !ok {
+				break
+			}
+			_ = p
+			rep.Delivered++
+		}
+	}
+	rep.Delivered += len(rs.Drain())
+	rep.MaxBuffered = maxInt64(rep.MaxBuffered, int64(rs.Buffered()))
+	rep.Overflows = rs.Stats().Overflows
+	rep.LostReconciled = lostTotal(mgr, nch)
+	return rep
+}
+
+func lostTotal(m *flowcontrol.Manager, n int) int64 {
+	var t int64
+	for c := 0; c < n; c++ {
+		t += m.LostBytes(c)
+	}
+	return t
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DefaultFaultPlan is the acceptance scenario: every channel at 20%
+// i.i.d. loss, one channel with an added loss burst, one with outage
+// windows, and a reverse path that loses every third credit refresh.
+func DefaultFaultPlan(nch int) FaultPlan {
+	plan := FaultPlan{Channels: make([]ChannelFaults, nch), CreditLossEvery: 3}
+	for i := range plan.Channels {
+		plan.Channels[i].Loss = 0.20
+	}
+	if nch > 1 {
+		plan.Channels[1].Burst = channel.GilbertElliott{
+			PGoodToBad: 0.01, PBadToGood: 0.2, BadLoss: 0.9,
+		}
+	}
+	if nch > 2 {
+		plan.Channels[2].Outages = [][2]int{{500, 700}, {2000, 2300}}
+	}
+	return plan
+}
+
+// runFaults regenerates the credit-stall pathology and its fix: at 20%
+// per-channel loss with traffic well past 10x the credit window,
+// delivered-byte grants wedge the sender permanently, while
+// marker-position reconciliation keeps it live with resequencer memory
+// bounded by the configured cap.
+func runFaults(cfg Config) *Result {
+	const nch = 4
+	const window = 16 * 1024
+	const bufCap = 256
+	total := 4000 // ~2.8MB of data: >40x the window per channel
+	if cfg.Quick {
+		total = 1200
+	}
+	plan := DefaultFaultPlan(nch)
+
+	before := RunFaults(plan, cfg.Seed+1, window, bufCap, total, false, nil)
+	after := RunFaults(plan, cfg.Seed+1, window, bufCap, total, true, nil)
+
+	var b strings.Builder
+	fmt.Fprintln(&b, "# Fault injection: 4 channels at 20% i.i.d. loss (one bursty, one with")
+	fmt.Fprintln(&b, "# outages), credits on a lossy reverse path, resequencer cap 256 packets.")
+	fmt.Fprintln(&b, row("grant basis", "sent", "stalled", "max gated streak", "reseq high-water", "lost re-granted"))
+	line := func(name string, r FaultReport) {
+		fmt.Fprintln(&b, row(name,
+			fmt.Sprintf("%d/%d", r.Sent, r.Target),
+			fmt.Sprintf("%v", r.Stalled),
+			fmt.Sprintf("%d", r.MaxGatedStreak),
+			fmt.Sprintf("%d", r.MaxBuffered),
+			fmt.Sprintf("%d", r.LostReconciled)))
+	}
+	line("delivered bytes (leaky)", before)
+	line("reconciled (markers)", after)
+
+	tb := &stats.Table{Title: "Credit reconciliation under 20% loss", XLabel: "reconcile(0=off,1=on)", YLabel: "packets sent", X: []float64{0, 1}}
+	tb.AddColumn("sent", []float64{float64(before.Sent), float64(after.Sent)})
+	return &Result{ID: "faults", Title: "Fault-injection: credit reconciliation", Text: b.String(), Tables: []*stats.Table{tb}}
+}

@@ -45,6 +45,9 @@ type chanCounters struct {
 	surplus         atomic.Int64 // gauge: SRR deficit/surplus counter
 	quantum         atomic.Int64 // gauge: configured quantum (static)
 	credit          atomic.Int64 // gauge: unused flow-control credit
+	markersDrained  atomic.Int64 // markers consumed eagerly at arrival
+	reconciles      atomic.Int64 // credit reconciliations that wrote off loss
+	lostReconciled  atomic.Int64 // bytes written off as lost and re-granted
 }
 
 // Collector is the lock-free metrics core. Construct with NewCollector
@@ -64,10 +67,13 @@ type Collector struct {
 	badMarkers    atomic.Int64
 	oldEpochDrops atomic.Int64
 
-	creditStall atomic.Int64 // nanoseconds blocked on exhausted credit
+	creditStall   atomic.Int64 // nanoseconds blocked on exhausted credit
+	creditRejects atomic.Int64 // wire grants rejected as invalid
 
-	buffered  atomic.Int64 // gauge: resequencer buffer occupancy
-	highWater atomic.Int64 // max value buffered has reached
+	buffered       atomic.Int64 // gauge: resequencer buffer occupancy
+	highWater      atomic.Int64 // max value buffered has reached
+	reseqOverflows atomic.Int64 // buffer-cap overflow escalations
+	overflowDrops  atomic.Int64 // arrivals dropped at the hard buffer cap
 
 	displacement Histogram // reordering lateness per delivery
 
@@ -252,6 +258,29 @@ func (c *Collector) AddCreditStall(d time.Duration) {
 	c.creditStall.Add(int64(d))
 }
 
+// OnCreditReconciled records a marker-position reconciliation on
+// channel that wrote off lostBytes as lost and granted them back.
+func (c *Collector) OnCreditReconciled(channel int, lostBytes int64) {
+	if c == nil {
+		return
+	}
+	if c.inRange(channel) {
+		cc := &c.ch[channel]
+		cc.reconciles.Add(1)
+		cc.lostReconciled.Add(lostBytes)
+	}
+	c.emit(KindCreditReconcile, channel, c.round.Load(), lostBytes)
+}
+
+// OnCreditRejected records a wire grant the gate refused (out-of-range
+// channel, negative value, or a grant beyond the sent + window bound).
+func (c *Collector) OnCreditRejected(channel int) {
+	if c == nil {
+		return
+	}
+	c.creditRejects.Add(1)
+}
+
 // OnReset records a reset (sender broadcast or receiver application of
 // one); value carries the new epoch.
 func (c *Collector) OnReset(epoch uint64) {
@@ -356,6 +385,34 @@ func (c *Collector) SetBuffered(n int64) {
 	atomicMax(&c.highWater, n)
 }
 
+// OnMarkerDrained records a marker consumed eagerly at arrival (head of
+// an otherwise idle channel buffer) rather than in scan order.
+func (c *Collector) OnMarkerDrained(channel int) {
+	if c == nil || !c.inRange(channel) {
+		return
+	}
+	c.ch[channel].markersDrained.Add(1)
+}
+
+// OnReseqOverflow records the resequencer's buffered-packet count
+// crossing its configured cap on channel, escalating to forced
+// delivery. dropped reports whether the arrival was discarded at the
+// hard cap instead of buffered.
+func (c *Collector) OnReseqOverflow(channel int, buffered int64, dropped bool) {
+	if c == nil {
+		return
+	}
+	c.reseqOverflows.Add(1)
+	if dropped {
+		c.overflowDrops.Add(1)
+	}
+	v := buffered
+	if dropped {
+		v = -buffered
+	}
+	c.emit(KindReseqOverflow, channel, c.round.Load(), v)
+}
+
 // --- Channel hooks -----------------------------------------------------
 
 // OnChannelLost records a packet dropped (lost or corrupted) by the
@@ -432,6 +489,9 @@ type ChannelSnapshot struct {
 	Surplus          int64
 	Quantum          int64
 	CreditRemaining  int64
+	MarkersDrained   int64
+	CreditReconciles int64
+	LostReconciled   int64
 }
 
 // Snapshot is a point-in-time copy of every metric the collector holds,
@@ -451,10 +511,13 @@ type Snapshot struct {
 	BadMarkers    int64
 	OldEpochDrops int64
 
-	CreditStall time.Duration // total time senders spent credit-blocked
+	CreditStall   time.Duration // total time senders spent credit-blocked
+	CreditRejects int64         // wire grants refused by the gate
 
 	Buffered          int64 // resequencer buffer occupancy now
 	BufferedHighWater int64
+	ReseqOverflows    int64 // buffer-cap escalations
+	OverflowDrops     int64 // arrivals discarded at the hard cap
 
 	// FairnessDiscrepancy is max_i |K·Quantum_i − bytes_i|;
 	// FairnessBound is the Theorem 3.2 ceiling Max + 2·Quantum. A
@@ -486,8 +549,11 @@ func (c *Collector) Snapshot() Snapshot {
 		BadMarkers:        c.badMarkers.Load(),
 		OldEpochDrops:     c.oldEpochDrops.Load(),
 		CreditStall:       time.Duration(c.creditStall.Load()),
+		CreditRejects:     c.creditRejects.Load(),
 		Buffered:          c.buffered.Load(),
 		BufferedHighWater: c.highWater.Load(),
+		ReseqOverflows:    c.reseqOverflows.Load(),
+		OverflowDrops:     c.overflowDrops.Load(),
 		Displacement:      c.displacement.Snapshot(),
 	}
 	for i := range c.ch {
@@ -507,6 +573,9 @@ func (c *Collector) Snapshot() Snapshot {
 			Surplus:          cc.surplus.Load(),
 			Quantum:          cc.quantum.Load(),
 			CreditRemaining:  cc.credit.Load(),
+			MarkersDrained:   cc.markersDrained.Load(),
+			CreditReconciles: cc.reconciles.Load(),
+			LostReconciled:   cc.lostReconciled.Load(),
 		}
 	}
 	s.FairnessDiscrepancy, s.FairnessBound = c.Fairness()

@@ -112,6 +112,15 @@ func WritePrometheus(w io.Writer, cols ...*Collector) {
 	perChannel("stripe_credit_remaining_bytes", "gauge",
 		"Unused flow-control credit per channel (0 when flow control is off).",
 		func(c *ChannelSnapshot) int64 { return c.CreditRemaining })
+	perChannel("stripe_markers_drained_total", "counter",
+		"Markers consumed eagerly at arrival instead of in scan order.",
+		func(c *ChannelSnapshot) int64 { return c.MarkersDrained })
+	perChannel("stripe_credit_reconciles_total", "counter",
+		"Credit reconciliations from marker-carried sender positions that wrote off loss.",
+		func(c *ChannelSnapshot) int64 { return c.CreditReconciles })
+	perChannel("stripe_credit_lost_bytes_total", "counter",
+		"Bytes written off as lost by credit reconciliation and granted back.",
+		func(c *ChannelSnapshot) int64 { return c.LostReconciled })
 
 	scalar("stripe_round", "gauge",
 		"Sender global round number G.",
@@ -137,12 +146,21 @@ func WritePrometheus(w io.Writer, cols ...*Collector) {
 	scalar("stripe_credit_stall_nanoseconds_total", "counter",
 		"Total wall-clock time senders spent blocked on exhausted credit.",
 		func(s *Snapshot) int64 { return int64(s.CreditStall) })
+	scalar("stripe_credit_rejects_total", "counter",
+		"Wire credit grants refused by the gate as invalid.",
+		func(s *Snapshot) int64 { return s.CreditRejects })
 	scalar("stripe_reseq_buffered_packets", "gauge",
 		"Resequencer buffer occupancy, in packets.",
 		func(s *Snapshot) int64 { return s.Buffered })
 	scalar("stripe_reseq_buffered_high_water", "gauge",
 		"Highest resequencer buffer occupancy observed.",
 		func(s *Snapshot) int64 { return s.BufferedHighWater })
+	scalar("stripe_reseq_overflows_total", "counter",
+		"Resequencer buffer-cap overflow escalations.",
+		func(s *Snapshot) int64 { return s.ReseqOverflows })
+	scalar("stripe_reseq_overflow_drops_total", "counter",
+		"Arrivals discarded at the resequencer's hard buffer cap.",
+		func(s *Snapshot) int64 { return s.OverflowDrops })
 	scalar("stripe_fairness_discrepancy_bytes", "gauge",
 		"Live fairness gauge: max over channels of |K*Quantum_i - bytes_i|.",
 		func(s *Snapshot) int64 { return s.FairnessDiscrepancy })

@@ -30,12 +30,22 @@ const (
 	// KindCreditExhausted: flow control vetoed a send. Channel is the
 	// starved channel, Value the blocked packet's size.
 	KindCreditExhausted
+	// KindCreditReconcile: a marker-carried sender position wrote off
+	// lost bytes and granted them back. Channel is the reconciled
+	// channel, Value the bytes newly written off.
+	KindCreditReconcile
+	// KindReseqOverflow: the resequencer's buffered-packet count
+	// crossed its configured cap. Channel is the arriving channel;
+	// Value is the occupancy (negated when the arrival was dropped at
+	// the hard cap).
+	KindReseqOverflow
 
 	nKinds
 )
 
 var kindNames = [nKinds]string{
 	"resync", "skip", "reset", "self_heal", "fast_forward", "credit_exhausted",
+	"credit_reconcile", "reseq_overflow",
 }
 
 // String returns the exposition name of the kind.

@@ -31,6 +31,14 @@ type MarkerBlock struct {
 	// marker, as suggested in Section 6.3. Zero means "no credit
 	// information" — grants are monotone and start positive.
 	Credits uint64
+	// Sent is the sender's cumulative count of data payload bytes
+	// transmitted on this channel at the instant the marker was cut —
+	// the authoritative sender position that lets the receiver
+	// reconcile flow-control credits after loss. Because channels are
+	// FIFO, every data byte counted here has either arrived before the
+	// marker or is lost, so Sent minus the receiver's arrival count is
+	// exactly the cumulative loss on the channel.
+	Sent uint64
 	// RNG optionally carries the 64-bit state of a randomized (RFQ)
 	// scheduler so the receiver can resynchronize its simulation of a
 	// randomized striper. Zero for deterministic schedulers.
@@ -45,8 +53,9 @@ type MarkerBlock struct {
 //	8      8     round
 //	16     8     deficit (two's complement)
 //	24     8     credits (cumulative grant)
-//	32     8     rng state
-//	40     4     CRC-32 (IEEE) over bytes [0,40)
+//	32     8     sent (cumulative data bytes sent on the channel)
+//	40     8     rng state
+//	48     4     CRC-32 (IEEE) over bytes [0,48)
 //
 // The format is fixed-size so markers are cheap to produce and validate
 // even at high rates, and checksummed so a corrupted marker is discarded
@@ -55,7 +64,7 @@ type MarkerBlock struct {
 const (
 	markerMagic = "SMRK"
 	// MarkerWireLen is the encoded size of a marker block in bytes.
-	MarkerWireLen = 44
+	MarkerWireLen = 52
 )
 
 // Errors returned by marker and credit decoding.
@@ -76,8 +85,9 @@ func (m *MarkerBlock) Encode(dst []byte) []byte {
 	binary.BigEndian.PutUint64(b[8:16], m.Round)
 	binary.BigEndian.PutUint64(b[16:24], uint64(m.Deficit))
 	binary.BigEndian.PutUint64(b[24:32], m.Credits)
-	binary.BigEndian.PutUint64(b[32:40], m.RNG)
-	binary.BigEndian.PutUint32(b[40:44], crc32.ChecksumIEEE(b[0:40]))
+	binary.BigEndian.PutUint64(b[32:40], m.Sent)
+	binary.BigEndian.PutUint64(b[40:48], m.RNG)
+	binary.BigEndian.PutUint32(b[48:52], crc32.ChecksumIEEE(b[0:48]))
 	return dst
 }
 
@@ -90,14 +100,15 @@ func DecodeMarker(b []byte) (MarkerBlock, error) {
 	if string(b[0:4]) != markerMagic {
 		return m, ErrBadMagic
 	}
-	if crc32.ChecksumIEEE(b[0:40]) != binary.BigEndian.Uint32(b[40:44]) {
+	if crc32.ChecksumIEEE(b[0:48]) != binary.BigEndian.Uint32(b[48:52]) {
 		return m, ErrChecksum
 	}
 	m.Channel = binary.BigEndian.Uint32(b[4:8])
 	m.Round = binary.BigEndian.Uint64(b[8:16])
 	m.Deficit = int64(binary.BigEndian.Uint64(b[16:24]))
 	m.Credits = binary.BigEndian.Uint64(b[24:32])
-	m.RNG = binary.BigEndian.Uint64(b[32:40])
+	m.Sent = binary.BigEndian.Uint64(b[32:40])
+	m.RNG = binary.BigEndian.Uint64(b[40:48])
 	return m, nil
 }
 

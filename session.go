@@ -63,15 +63,19 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 
 	// Receive side first: the credit manager reads its drain counters.
 	rcfg := core.ResequencerConfig{
-		Mode: cfg.Mode,
-		N:    n,
-		Obs:  cfg.Collector,
+		Mode:        cfg.Mode,
+		N:           n,
+		Obs:         cfg.Collector,
+		MaxBuffered: cfg.MaxBuffered,
 		// Invoked from the receive path with s.mu already held.
 		OnMarker: func(c int, m packet.MarkerBlock) {
 			if m.Credits == 0 || s.gate == nil {
 				return
 			}
-			s.gate.ApplyGrant(c, int64(m.Credits))
+			if s.gate.ApplyGrant(c, int64(m.Credits)) != nil {
+				s.col.OnCreditRejected(c)
+				return
+			}
 			s.txCond.Broadcast()
 		},
 	}
@@ -111,6 +115,7 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 			return nil, err
 		}
 		gate.SetObs(cfg.Collector)
+		mgr.SetObs(cfg.Collector)
 		s.gate = gate
 		s.mgr = mgr
 		scfg.Gate = gate
@@ -191,14 +196,28 @@ func (s *Session) SendBytes(payload []byte) error { return s.Send(Data(payload))
 // c (any kind: data, markers with credits, resets).
 func (s *Session) Arrive(c int, p *Packet) {
 	s.mu.Lock()
-	// Apply piggybacked credits immediately rather than when the marker
-	// is consumed in scan order: grants are monotone (ApplyGrant keeps
-	// the max), so reading them early is safe, and it keeps the
+	// Process piggybacked credit state immediately rather than when the
+	// marker is consumed in scan order: grants and reconciled positions
+	// are monotone, so reading them early is safe, and it keeps the
 	// transmit side live even when the application is slow to Recv.
-	if s.gate != nil && p.Kind == KindMarker {
-		if m, err := packet.MarkerOf(p); err == nil && m.Credits > 0 && int(m.Channel) == c {
-			s.gate.ApplyGrant(c, int64(m.Credits))
-			s.txCond.Broadcast()
+	if p.Kind == KindMarker {
+		if m, err := packet.MarkerOf(p); err == nil && int(m.Channel) == c {
+			// Reconcile before the resequencer sees the marker: right now
+			// the per-channel FIFO guarantees every data byte the peer
+			// sent before cutting this marker has either arrived or is
+			// lost, so Sent − arrived is the channel's exact cumulative
+			// loss and the peer's window can be re-granted past it.
+			if s.mgr != nil {
+				s.mgr.Reconcile(c, int64(m.Sent),
+					s.rs.ArrivedBytesOn(c), s.rs.BufferedBytesOn(c))
+			}
+			if s.gate != nil && m.Credits > 0 {
+				if s.gate.ApplyGrant(c, int64(m.Credits)) != nil {
+					s.col.OnCreditRejected(c)
+				} else {
+					s.txCond.Broadcast()
+				}
+			}
 		}
 	}
 	s.rs.Arrive(c, p)

@@ -1,0 +1,197 @@
+package stripe
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// wireLossySessions is wireSessions with per-channel loss and separate
+// collectors, so each end's counters can be inspected independently.
+func wireLossySessions(t *testing.T, nch int, loss float64, mk func(col *Collector) SessionConfig) (a, b *Session, cleanup func()) {
+	t.Helper()
+	mkChans := func(seedBase int64) ([]*LocalChannel, []ChannelSender) {
+		chans := make([]*LocalChannel, nch)
+		senders := make([]ChannelSender, nch)
+		for i := range chans {
+			chans[i] = NewLocalChannel(LocalChannelConfig{
+				Delay: 200 * time.Microsecond,
+				Loss:  loss,
+				Seed:  seedBase + int64(i),
+			})
+			senders[i] = chans[i]
+		}
+		return chans, senders
+	}
+	abChans, abSenders := mkChans(100)
+	baChans, baSenders := mkChans(200)
+
+	a, err := NewSession(abSenders, mk(NewCollector(nch)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = NewSession(baSenders, mk(NewCollector(nch)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pumps sync.WaitGroup
+	pump := func(chans []*LocalChannel, dst *Session) {
+		for i, ch := range chans {
+			pumps.Add(1)
+			go func(i int, ch *LocalChannel) {
+				defer pumps.Done()
+				for p := range ch.Out() {
+					dst.Arrive(i, p)
+				}
+			}(i, ch)
+		}
+	}
+	pump(abChans, b)
+	pump(baChans, a)
+	cleanup = func() {
+		a.Close()
+		b.Close()
+		for _, ch := range abChans {
+			ch.Close()
+		}
+		for _, ch := range baChans {
+			ch.Close()
+		}
+		pumps.Wait()
+	}
+	return a, b, cleanup
+}
+
+// TestSessionLossyDuplexNoCreditStall is the session-level regression
+// for the credit-leak pathology: over a duplex connection losing 15% of
+// packets per channel, each side sends far more than the credit window,
+// so before grant reconciliation the cumulative loss wedged the sender
+// permanently. With marker-carried positions the stall must clear
+// within a marker period, so the whole transfer completes.
+func TestSessionLossyDuplexNoCreditStall(t *testing.T) {
+	const nch = 2
+	const window = 8 * 1024
+	const n = 120 // 120 x 1KB per direction: ~15x the window
+	mk := func(col *Collector) SessionConfig {
+		return SessionConfig{
+			Config: Config{
+				Quanta:      UniformQuanta(nch, 1500),
+				Collector:   col,
+				MaxBuffered: 512,
+			},
+			CreditWindow:   window,
+			MarkerInterval: 2 * time.Millisecond,
+		}
+	}
+	a, b, cleanup := wireLossySessions(t, nch, 0.15, mk)
+	defer cleanup()
+
+	var wg sync.WaitGroup
+	send := func(s *Session) {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := s.SendBytes(make([]byte, 1024)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+	// Consumers drain whatever survives the loss so delivered-byte
+	// grants keep moving too; lost bytes can only be re-granted by
+	// reconciliation.
+	drain := func(s *Session) {
+		for s.Recv() != nil {
+		}
+	}
+	wg.Add(2)
+	go send(a)
+	go send(b)
+	go drain(a)
+	go drain(b)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("send stalled permanently: a credits %+v, b credits %+v",
+			remaining(a, nch), remaining(b, nch))
+	}
+	// Loss must actually have been written off on at least one side, or
+	// this test is not exercising reconciliation.
+	if lost(a) == 0 && lost(b) == 0 {
+		t.Fatal("no loss was reconciled despite 15% channel loss")
+	}
+}
+
+func remaining(s *Session, nch int) []int64 {
+	out := make([]int64, nch)
+	for c := range out {
+		out[c] = s.CreditRemaining(c)
+	}
+	return out
+}
+
+func lost(s *Session) int64 {
+	var t int64
+	for _, ch := range s.Snapshot().Channels {
+		t += ch.LostReconciled
+	}
+	return t
+}
+
+// TestSessionIdleMarkersBounded is the idle-direction regression: a
+// session that sends no data but keeps cutting marker batches (as the
+// timer does) must not accumulate markers in the peer's resequencer.
+// 600 batches stand in for a 30-second idle session at the default
+// 50ms marker interval; the buffered high-water must stay O(channels)
+// even though the idle peer never calls Recv.
+func TestSessionIdleMarkersBounded(t *testing.T) {
+	const nch = 3
+	const batches = 600
+	mk := func(col *Collector) SessionConfig {
+		return SessionConfig{
+			Config: Config{
+				Quanta:    UniformQuanta(nch, 1500),
+				Collector: col,
+			},
+			CreditWindow:   4 * 1024,
+			MarkerInterval: -1, // no timer: batches are driven explicitly below
+		}
+	}
+	a, b, cleanup := wireLossySessions(t, nch, 0, mk)
+	defer cleanup()
+	_ = a
+
+	for i := 0; i < batches; i++ {
+		a.EmitMarkers()
+	}
+	// Wait for every marker to arrive and be consumed at the idle peer.
+	deadline := time.Now().Add(10 * time.Second)
+	var snap Snapshot
+	for {
+		snap = b.Snapshot()
+		var consumed int64
+		for _, ch := range snap.Channels {
+			consumed += ch.MarkersConsumed
+		}
+		if consumed >= int64(batches*nch) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d markers consumed", consumed, batches*nch)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if snap.BufferedHighWater > int64(nch) {
+		t.Fatalf("idle-but-markered high-water %d is not O(channels) (%d channels)",
+			snap.BufferedHighWater, nch)
+	}
+	var drained int64
+	for _, ch := range snap.Channels {
+		drained += ch.MarkersDrained
+	}
+	if drained == 0 {
+		t.Fatal("no markers were drained eagerly")
+	}
+}

@@ -95,6 +95,11 @@ type Config struct {
 	// AddSeq stamps explicit sequence numbers on data packets — the
 	// "with header" variant, required for ModeSequence.
 	AddSeq bool
+	// MaxBuffered caps the receiver's total buffered packets, making
+	// resequencer memory hard-bounded: above the cap ordering is
+	// abandoned for the backlog until it halves, and above twice the cap
+	// arrivals are dropped like channel loss. Zero means unbounded.
+	MaxBuffered int
 	// Collector, when non-nil, receives runtime metrics and protocol
 	// events from every engine built with this Config. Size it with
 	// NewCollector(len(Quanta)). Expose it with Serve or read it with
@@ -230,7 +235,7 @@ func NewReceiver(n int, cfg Config) (*Receiver, error) {
 	if len(cfg.Quanta) != n {
 		return nil, errors.New("stripe: Quanta must have one entry per channel")
 	}
-	rcfg := core.ResequencerConfig{Mode: cfg.Mode, N: n, Obs: cfg.Collector}
+	rcfg := core.ResequencerConfig{Mode: cfg.Mode, N: n, Obs: cfg.Collector, MaxBuffered: cfg.MaxBuffered}
 	if cfg.Mode == ModeLogical {
 		s, err := cfg.sched()
 		if err != nil {
