@@ -182,7 +182,7 @@ func BenchmarkSenderPublicAPI(b *testing.B) {
 // acceptance bar for the layer is <5% overhead with a collector
 // attached.
 func BenchmarkInstrumentationOverhead(b *testing.B) {
-	for _, name := range []string{"nil", "collector", "collector+sink"} {
+	for _, name := range []string{"nil", "collector", "collector+sink", "collector+tracer"} {
 		b.Run(name, func(b *testing.B) {
 			const nch = 4
 			quanta := sched.UniformQuanta(nch, 1500)
@@ -198,6 +198,12 @@ func BenchmarkInstrumentationOverhead(b *testing.B) {
 			case "collector+sink":
 				col := obs.NewCollector(nch)
 				col.AddSink(obs.NewRingSink(64))
+				cfg.Obs = col
+			case "collector+tracer":
+				// Default 1-in-16 lifecycle sampling: the production
+				// configuration the <5% overhead budget applies to.
+				col := obs.NewCollector(nch)
+				col.SetTracer(obs.NewTracer(obs.TracerConfig{}))
 				cfg.Obs = col
 			}
 			st, err := core.NewStriper(cfg)

@@ -7,24 +7,34 @@
 //	stripebench -exp loss,video  # several
 //	stripebench -list            # what exists
 //	stripebench -quick           # reduced scale (seconds, not minutes)
+//	stripebench -json            # machine-readable perf record on stdout
+//
+// -json runs the hot-path perf suite (ns/op, MB/s, lifecycle latency
+// quantiles) and emits one JSON document, plus the structured tables of
+// any experiments named with -exp. CI archives the output per commit so
+// performance has a diffable trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"stripe/internal/harness"
+	"stripe/internal/stats"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		quick = flag.Bool("quick", false, "reduced-scale runs")
-		seed  = flag.Int64("seed", 1, "experiment seed")
+		exp     = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quick   = flag.Bool("quick", false, "reduced-scale runs")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON perf record instead of tables")
 	)
 	flag.Parse()
 
@@ -37,7 +47,9 @@ func main() {
 
 	var todo []harness.Experiment
 	if *exp == "" {
-		todo = harness.All()
+		if !*jsonOut { // -json with no -exp runs only the perf suite
+			todo = harness.All()
+		}
 	} else {
 		for _, id := range strings.Split(*exp, ",") {
 			id = strings.TrimSpace(id)
@@ -51,6 +63,33 @@ func main() {
 	}
 
 	cfg := harness.Config{Quick: *quick, Seed: *seed}
+	if *jsonOut {
+		out := jsonRecord{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			Quick:     *quick,
+			Seed:      *seed,
+			Perf:      harness.RunPerf(cfg),
+		}
+		for _, e := range todo {
+			start := time.Now()
+			r := e.Run(cfg)
+			out.Experiments = append(out.Experiments, jsonExperiment{
+				ID:      e.ID,
+				Title:   e.Title,
+				Seconds: time.Since(start).Seconds(),
+				Tables:  r.Tables,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "stripebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	for _, e := range todo {
 		start := time.Now()
 		fmt.Printf("== %s: %s\n", e.ID, e.Title)
@@ -58,4 +97,22 @@ func main() {
 		fmt.Println(r.Text)
 		fmt.Printf("-- %s finished in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// jsonRecord is the -json output document.
+type jsonRecord struct {
+	GoVersion   string             `json:"go_version"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	Quick       bool               `json:"quick"`
+	Seed        int64              `json:"seed"`
+	Perf        harness.PerfReport `json:"perf"`
+	Experiments []jsonExperiment   `json:"experiments,omitempty"`
+}
+
+type jsonExperiment struct {
+	ID      string         `json:"id"`
+	Title   string         `json:"title"`
+	Seconds float64        `json:"seconds"`
+	Tables  []*stats.Table `json:"tables,omitempty"`
 }

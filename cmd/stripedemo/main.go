@@ -7,12 +7,21 @@
 //	stripedemo -loss 0.1          # 10% loss: quasi-FIFO with marker recovery
 //	stripedemo -n 50 -v           # print each delivery
 //	stripedemo -metrics :9090     # serve /metrics + /debug/pprof during the run
+//	stripedemo -trace out.json    # write packet lifecycles as chrome://tracing JSON
 //
 // With -metrics the demo serves the runtime observability endpoint
 // (Prometheus text at /metrics, expvar at /debug/vars, pprof under
 // /debug/pprof/) while it runs, prints recent protocol events, and
 // fetches its own /metrics at the end so the counters are visible even
 // without an external curl.
+//
+// With -trace every packet's lifecycle (stripe, UDP send, UDP receive,
+// resequence, deliver) is stamped and written to the named file; open it
+// at chrome://tracing or https://ui.perfetto.dev. Tracing enables AddSeq
+// so both ends key a packet by the same wire-carried sequence number.
+// Either flag also arms a flight recorder that dumps the recent event
+// history when an anomaly (credit stall, resync storm, overflow,
+// invariant violation) trips mid-run.
 package main
 
 import (
@@ -46,11 +55,12 @@ func (l *lossyChannel) Send(pkt *stripe.Packet) error {
 
 func main() {
 	var (
-		n       = flag.Int("n", 200, "packets to send")
-		loss    = flag.Float64("loss", 0, "data-packet loss probability")
-		verbose = flag.Bool("v", false, "print each delivery")
-		seed    = flag.Int64("seed", 42, "loss-process seed")
-		metrics = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
+		n        = flag.Int("n", 200, "packets to send")
+		loss     = flag.Float64("loss", 0, "data-packet loss probability")
+		verbose  = flag.Bool("v", false, "print each delivery")
+		seed     = flag.Int64("seed", 42, "loss-process seed")
+		metrics  = flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. :9090)")
+		traceOut = flag.String("trace", "", "write packet lifecycles as chrome://tracing JSON to this file")
 	)
 	flag.Parse()
 
@@ -61,16 +71,31 @@ func main() {
 	}
 
 	var (
-		events *stripe.RingSink
-		srv    *stripe.Server
+		events   *stripe.RingSink
+		srv      *stripe.Server
+		tracer   *stripe.Tracer
+		recorder *stripe.FlightRecorder
 	)
-	if *metrics != "" {
+	if *metrics != "" || *traceOut != "" {
 		col := stripe.NewCollector(nch)
 		events = stripe.NewRingSink(64)
 		col.AddSink(events)
+		recorder = stripe.NewFlightRecorder(col, stripe.FlightRecorderConfig{})
+		col.AddSink(recorder)
 		cfg.Collector = col
+	}
+	if *traceOut != "" {
+		// Stamp every packet and carry sequence numbers on the wire so
+		// the UDP receive side keys lifecycles the same way the sender
+		// does (without AddSeq the striper's in-process ID never crosses
+		// the socket and only transmit-side stages would be traced).
+		tracer = stripe.NewTracer(stripe.TracerConfig{Sample: 1})
+		cfg.Collector.SetTracer(tracer)
+		cfg.AddSeq = true
+	}
+	if *metrics != "" {
 		var err error
-		srv, err = stripe.Serve(*metrics, col)
+		srv, err = stripe.Serve(*metrics, cfg.Collector)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stripedemo:", err)
 			os.Exit(1)
@@ -182,6 +207,32 @@ collect:
 		fmt.Println("quasi-FIFO: misordering confined to loss windows; markers restore sync")
 	}
 	_ = order
+
+	if recorder != nil {
+		if d, ok := recorder.LastDump(); ok {
+			fmt.Printf("\nflight recorder: %d dump(s), last trigger %q with %d events of history\n",
+				recorder.Dumps(), d.Reason, len(d.Events))
+		}
+	}
+	if *traceOut != "" {
+		lifecycles := tracer.Recent()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stripedemo:", err)
+			os.Exit(1)
+		}
+		if err := stripe.WriteChromeTrace(f, lifecycles, events.Events()); err != nil {
+			fmt.Fprintln(os.Stderr, "stripedemo:", err)
+		}
+		f.Close()
+		ts := tracer.Snapshot()
+		fmt.Printf("\nwrote %d packet lifecycles to %s (open at chrome://tracing or ui.perfetto.dev)\n",
+			len(lifecycles), *traceOut)
+		fmt.Printf("end-to-end latency: p50 %v  p90 %v  p99 %v\n",
+			time.Duration(ts.EndToEnd.Quantile(0.50)),
+			time.Duration(ts.EndToEnd.Quantile(0.90)),
+			time.Duration(ts.EndToEnd.Quantile(0.99)))
+	}
 
 	if srv != nil {
 		if evs := events.Events(); len(evs) > 0 {

@@ -26,6 +26,13 @@
 // reclaimed). Before grants were reconciled this example stalled for
 // good a couple of seconds in — the pathology the endpoint was built
 // to make visible, now the fix it demonstrates.
+//
+// A lifecycle tracer shared by both ends adds sampled latency
+// histograms (stripe_latency_* under /metrics, chrome://tracing JSON
+// under /debug/stripe/trace), an invariant checker asserts the
+// theorems on every flush, and a flight recorder stands by to dump the
+// event history if an anomaly trips; the exit report prints the
+// latency quantiles and both verdicts.
 package main
 
 import (
@@ -66,6 +73,21 @@ func main() {
 	colB := stripe.NewNamedCollector("bob", nch)
 	events := stripe.NewRingSink(32)
 	colB.AddSink(events)
+
+	// One lifecycle tracer shared by both ends (default 1-in-16
+	// sampling): alice's striper stamps the transmit stages, bob's
+	// resequencer the receive stages, and the latency histograms show
+	// up under /metrics and /debug/stripe/trace.
+	tracer := stripe.NewTracer(stripe.TracerConfig{})
+	colA.SetTracer(tracer)
+	colB.SetTracer(tracer)
+	// The invariant checker asserts Theorem 3.2 and credit conservation
+	// on every flush; the flight recorder dumps the event history when
+	// an anomaly (or a checker finding) trips.
+	checker := stripe.NewChecker()
+	colA.SetChecker(checker)
+	recorder := stripe.NewFlightRecorder(colA, stripe.FlightRecorderConfig{})
+	colA.AddSink(recorder)
 
 	cfg := stripe.SessionConfig{
 		Config: stripe.Config{
@@ -217,6 +239,24 @@ func main() {
 		snap.BufferedHighWater, snap.Events)
 	fmt.Printf("alice: credit stall %v, blocked sends %d\n",
 		alice.Snapshot().CreditStall, sumBlocked(alice.Snapshot()))
+
+	// Lifecycle latency quantiles from the shared tracer (1-in-16
+	// sampled): end-to-end includes the credit stalls the small window
+	// causes; resequencing delay is what loss recovery costs bob.
+	ts := tracer.Snapshot()
+	q := func(h stripe.HistogramSnapshot) string {
+		return fmt.Sprintf("p50 %v  p90 %v  p99 %v",
+			time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.90)), time.Duration(h.Quantile(0.99)))
+	}
+	fmt.Printf("latency (%d lifecycles traced, 1 in %d sampled):\n", ts.Tracked, ts.SampleEvery)
+	fmt.Printf("  end-to-end   %s\n", q(ts.EndToEnd))
+	fmt.Printf("  reseq delay  %s\n", q(ts.ReseqDelay))
+	fmt.Printf("  send stall   %s\n", q(ts.SendStall))
+	fmt.Printf("invariant checker: %d violation(s)\n", checker.ViolationCount())
+	if d, ok := recorder.LastDump(); ok {
+		fmt.Printf("flight recorder: %d dump(s), last trigger %q with %d events of history\n",
+			recorder.Dumps(), d.Reason, len(d.Events))
+	}
 	if evs := events.Events(); len(evs) > 0 {
 		fmt.Printf("last protocol events (%d):\n", len(evs))
 		for i, e := range evs {

@@ -281,6 +281,7 @@ func (r *Resequencer) arrive(c int, p *packet.Packet) {
 		// arrival position, and bytes later discarded (old epochs,
 		// overflow) must still be credited back to the sender.
 		r.arrivedOn[c] += int64(p.Len())
+		r.obs.TraceArrive(traceKey(p), c)
 	}
 	if r.resetting && !r.passed[c] {
 		// Waiting for this channel's reset boundary: everything before
@@ -327,6 +328,9 @@ func (r *Resequencer) arrive(c int, p *packet.Packet) {
 			return
 		}
 		r.bufs[c].push(p)
+		if p.Kind == packet.Data {
+			r.obs.TraceBuffered(traceKey(p))
+		}
 		r.drainEagerMarkers(c)
 	}
 }
@@ -420,6 +424,17 @@ func (r *Resequencer) noteDelivered(c int, p *packet.Packet) {
 		disp = r.maxSeenID - id
 	}
 	r.obs.OnDelivered(c, p.Len(), disp)
+	r.obs.TraceDeliver(traceKey(p), disp)
+}
+
+// traceKey is a packet's lifecycle-tracing identity: the explicit
+// sequence number when present (it crosses the wire, so both ends of a
+// remote session agree on it), else the striper's in-process ID.
+func traceKey(p *packet.Packet) uint64 {
+	if p.HasSeq {
+		return p.Seq
+	}
+	return p.ID
 }
 
 // WaitingOn returns the channel logical reception is blocked on. It is

@@ -277,6 +277,7 @@ func (st *Striper) SyncObs() {
 	if st.rb != nil {
 		st.obs.SetRound(st.rb.Round())
 	}
+	st.obs.RunChecks()
 }
 
 // Send stripes one data packet. The packet is transmitted verbatim
@@ -287,6 +288,13 @@ func (st *Striper) Send(p *packet.Packet) error {
 	c := st.s.Select()
 	if st.gate != nil && !st.gate.Admit(c, p.Len()) {
 		st.obs.OnCreditExhausted(c, p.Len())
+		// The packet has no identity yet (ID/Seq are stamped on the
+		// successful send), so trace under the identity it will get.
+		if st.addSeq {
+			st.obs.TraceGated(st.nextSeq)
+		} else {
+			st.obs.TraceGated(st.nextID)
+		}
 		return ErrGated
 	}
 	p.ID = st.nextID
@@ -319,6 +327,7 @@ func (st *Striper) Send(p *packet.Packet) error {
 		if p.Len() > st.obsMaxLen {
 			st.obsMaxLen = p.Len()
 		}
+		st.obs.TraceSend(traceKey(p), c)
 		if st.obsLag++; st.obsLag >= obsFlushEvery {
 			st.SyncObs()
 		}

@@ -2,7 +2,9 @@ package harness
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
+	"time"
 
 	"stripe/internal/channel"
 	"stripe/internal/core"
@@ -32,6 +34,13 @@ type ChannelFaults struct {
 	// channel delivers nothing (the pump stalls), modelling latency
 	// spikes; relative to the other channels this reorders traffic.
 	Outages [][2]int
+	// Jitter delays each delivery by a uniform 0..Jitter extra
+	// iterations, modelling per-channel latency variation. Deliveries
+	// stay FIFO within the channel (a delayed packet holds everything
+	// behind it back — the protocol assumes FIFO channels), so jitter
+	// reorders traffic *across* channels, which is exactly what the
+	// resequencing-delay histogram measures.
+	Jitter int
 }
 
 func (f ChannelFaults) out(iter int) bool {
@@ -129,11 +138,7 @@ func RunFaults(plan FaultPlan, seed int64, w int64, maxBuffered, total int, reco
 	sizes := trace.NewBimodal(300, 1100, 0.5, seed+13)
 	rep := FaultReport{Target: total}
 	streak, refreshes := 0, 0
-	pump := func(c int) {
-		p, ok := queues[c].Recv()
-		if !ok {
-			return
-		}
+	arrive := func(c int, p *packet.Packet) {
 		if p.Kind == packet.Marker {
 			// The FIFO point: everything the sender put on c before this
 			// marker has arrived or is lost, so reconcile the credit
@@ -147,6 +152,31 @@ func RunFaults(plan FaultPlan, seed int64, w int64, maxBuffered, total int, reco
 			}
 		}
 		rs.Arrive(c, p)
+	}
+	// Per-channel delay lines for jitter. A packet popped off the queue
+	// at iteration i is released at i + uniform(0..Jitter), clamped to
+	// never overtake its predecessor so the channel stays FIFO.
+	type held struct {
+		p       *packet.Packet
+		release int
+	}
+	lines := make([][]held, nch)
+	jrng := rand.New(rand.NewSource(seed + 104729))
+	pump := func(c, iter int) {
+		if p, ok := queues[c].Recv(); ok {
+			rel := iter
+			if j := plan.Channels[c].Jitter; j > 0 {
+				rel += jrng.Intn(j + 1)
+			}
+			if n := len(lines[c]); n > 0 && lines[c][n-1].release > rel {
+				rel = lines[c][n-1].release
+			}
+			lines[c] = append(lines[c], held{p, rel})
+		}
+		for len(lines[c]) > 0 && lines[c][0].release <= iter {
+			arrive(c, lines[c][0].p)
+			lines[c] = lines[c][1:]
+		}
 	}
 	for iter := 0; rep.Sent < total; iter++ {
 		switch err := st.Send(packet.NewDataSized(sizes.Next())); err {
@@ -177,7 +207,7 @@ func RunFaults(plan FaultPlan, seed int64, w int64, maxBuffered, total int, reco
 		// Pump each channel that is not in an outage window.
 		for c := range queues {
 			if !plan.Channels[c].out(iter) {
-				pump(c)
+				pump(c, iter)
 			}
 		}
 		if occ := int64(rs.Buffered()); occ > rep.MaxBuffered {
@@ -203,10 +233,11 @@ func RunFaults(plan FaultPlan, seed int64, w int64, maxBuffered, total int, reco
 			}
 		}
 	}
-	// Let outages end and the tail drain.
+	// Let outages end and the tail drain (the huge iteration count
+	// flushes the jitter delay lines).
 	for i := 0; i < 64; i++ {
 		for c := range queues {
-			pump(c)
+			pump(c, 1<<30)
 		}
 		for {
 			p, ok := rs.Next()
@@ -223,6 +254,9 @@ func RunFaults(plan FaultPlan, seed int64, w int64, maxBuffered, total int, reco
 	rep.LostReconciled = lostTotal(mgr, nch)
 	return rep
 }
+
+// fmtNs renders a nanosecond latency with time.Duration units.
+func fmtNs(ns int64) string { return time.Duration(ns).String() }
 
 func lostTotal(m *flowcontrol.Manager, n int) int64 {
 	var t int64
@@ -255,6 +289,14 @@ func DefaultFaultPlan(nch int) FaultPlan {
 	if nch > 2 {
 		plan.Channels[2].Outages = [][2]int{{500, 700}, {2000, 2300}}
 	}
+	// Mild delay jitter everywhere (cross-channel reordering for the
+	// resequencing-delay histogram), one channel noticeably worse.
+	for i := range plan.Channels {
+		plan.Channels[i].Jitter = 3
+	}
+	if nch > 3 {
+		plan.Channels[3].Jitter = 10
+	}
 	return plan
 }
 
@@ -274,11 +316,17 @@ func runFaults(cfg Config) *Result {
 	plan := DefaultFaultPlan(nch)
 
 	before := RunFaults(plan, cfg.Seed+1, window, bufCap, total, false, nil)
-	after := RunFaults(plan, cfg.Seed+1, window, bufCap, total, true, nil)
+	// The healthy run carries a lifecycle tracer (every packet sampled)
+	// so the jittery channels show up as resequencing-delay quantiles.
+	col := obs.NewCollector(nch)
+	tracer := obs.NewTracer(obs.TracerConfig{Sample: 1})
+	col.SetTracer(tracer)
+	after := RunFaults(plan, cfg.Seed+1, window, bufCap, total, true, col)
 
 	var b strings.Builder
 	fmt.Fprintln(&b, "# Fault injection: 4 channels at 20% i.i.d. loss (one bursty, one with")
-	fmt.Fprintln(&b, "# outages), credits on a lossy reverse path, resequencer cap 256 packets.")
+	fmt.Fprintln(&b, "# outages), delay jitter on every channel, credits on a lossy reverse")
+	fmt.Fprintln(&b, "# path, resequencer cap 256 packets.")
 	fmt.Fprintln(&b, row("grant basis", "sent", "stalled", "max gated streak", "reseq high-water", "lost re-granted"))
 	line := func(name string, r FaultReport) {
 		fmt.Fprintln(&b, row(name,
@@ -290,6 +338,17 @@ func runFaults(cfg Config) *Result {
 	}
 	line("delivered bytes (leaky)", before)
 	line("reconciled (markers)", after)
+	ts := tracer.Snapshot()
+	fmt.Fprintf(&b, "\n# Resequencing delay (reconciled run, %d lifecycles traced):\n", ts.Tracked)
+	fmt.Fprintln(&b, row("histogram", "p50", "p90", "p99", "max bucket"))
+	quant := func(name string, h obs.HistogramSnapshot) {
+		fmt.Fprintln(&b, row(name,
+			fmtNs(h.Quantile(0.50)), fmtNs(h.Quantile(0.90)), fmtNs(h.Quantile(0.99)),
+			fmt.Sprintf("%d obs", h.Count)))
+	}
+	quant("reseq delay", ts.ReseqDelay)
+	quant("head-of-line", ts.HeadOfLine)
+	quant("end-to-end", ts.EndToEnd)
 
 	tb := &stats.Table{Title: "Credit reconciliation under 20% loss", XLabel: "reconcile(0=off,1=on)", YLabel: "packets sent", X: []float64{0, 1}}
 	tb.AddColumn("sent", []float64{float64(before.Sent), float64(after.Sent)})

@@ -43,6 +43,37 @@ func TestCreditStallRedThenGreen(t *testing.T) {
 	}
 }
 
+// TestJitterReordersButPreservesDelivery checks the FaultPlan delay
+// jitter: packets on a jittery channel are delayed but stay FIFO within
+// the channel, so the run still completes and delivers everything —
+// while the cross-channel reordering forces the resequencer to buffer
+// visibly more than the smooth run.
+func TestJitterReordersButPreservesDelivery(t *testing.T) {
+	const total = 1500
+	mk := func(jit int) FaultPlan {
+		plan := FaultPlan{Channels: make([]ChannelFaults, 4)}
+		plan.Channels[2].Jitter = jit
+		return plan
+	}
+	smooth := RunFaults(mk(0), 11, 16*1024, 256, total, true, nil)
+	jittery := RunFaults(mk(12), 11, 16*1024, 256, total, true, nil)
+
+	if jittery.Stalled || jittery.Sent != total {
+		t.Fatalf("jittery run did not complete: %+v", jittery)
+	}
+	if jittery.Delivered != smooth.Delivered {
+		t.Fatalf("jitter changed delivery count: smooth %d, jittery %d",
+			smooth.Delivered, jittery.Delivered)
+	}
+	if jittery.Overflows != 0 {
+		t.Fatalf("jitter alone overflowed the resequencer: %+v", jittery)
+	}
+	if jittery.MaxBuffered <= smooth.MaxBuffered {
+		t.Fatalf("jitter did not reorder across channels: high-water %d vs smooth %d",
+			jittery.MaxBuffered, smooth.MaxBuffered)
+	}
+}
+
 // TestFaultsAcceptance is the issue's acceptance run, verified through
 // the observability counters: 20% per-channel loss over traffic an
 // order of magnitude past the credit window, zero permanent credit

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"time"
+
+	"stripe/internal/channel"
+	"stripe/internal/core"
+	"stripe/internal/obs"
+	"stripe/internal/packet"
+	"stripe/internal/sched"
+	"stripe/internal/trace"
+)
+
+// PerfBench is one machine-readable micro-benchmark result.
+type PerfBench struct {
+	Name    string  `json:"name"`
+	Ops     int     `json:"ops"`
+	NsPerOp float64 `json:"ns_per_op"`
+	MBPerS  float64 `json:"mb_per_s"`
+}
+
+// PerfReport is the output of RunPerf: the perf trajectory record that
+// `stripebench -json` emits for CI to archive, so regressions between
+// PRs are a diff of two JSON files rather than an anecdote.
+type PerfReport struct {
+	Benches []PerfBench `json:"benchmarks"`
+	// Quantiles holds lifecycle latency quantiles (nanoseconds) from a
+	// traced pipeline run: histogram name -> {"p50","p90","p99"}.
+	Quantiles map[string]map[string]int64 `json:"latency_quantiles_ns"`
+}
+
+// perfLoop runs fn ops times and folds the wall time into a PerfBench.
+// bytesPerOp feeds the MB/s figure (0 disables it).
+func perfLoop(name string, ops int, bytesPerOp int64, fn func(i int)) PerfBench {
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		fn(i)
+	}
+	el := time.Since(start)
+	b := PerfBench{
+		Name:    name,
+		Ops:     ops,
+		NsPerOp: float64(el.Nanoseconds()) / float64(ops),
+	}
+	if bytesPerOp > 0 && el > 0 {
+		b.MBPerS = float64(bytesPerOp) * float64(ops) / el.Seconds() / 1e6
+	}
+	return b
+}
+
+// RunPerf measures the protocol's software hot paths: the striper send
+// path alone, the full stripe->channel->resequence pipeline, and the
+// pipeline with a lifecycle tracer sampling every packet (which also
+// yields the latency quantiles). Deterministic workload under cfg.Seed;
+// wall-clock timings vary with the machine, which is the point.
+func RunPerf(cfg Config) PerfReport {
+	ops := 200_000
+	if cfg.Quick {
+		ops = 50_000
+	}
+	const nch = 4
+	quanta := sched.UniformQuanta(nch, 1500)
+	rep := PerfReport{Quantiles: map[string]map[string]int64{}}
+
+	// Striper hot path alone: perfect channels, queues drained inline.
+	{
+		g := channel.NewGroup(nch, channel.Impairments{})
+		st, err := core.NewStriper(core.StriperConfig{
+			Sched:    sched.MustSRR(quanta),
+			Channels: g.Senders(),
+			Markers:  core.MarkerPolicy{Every: 4, Position: 0},
+		})
+		if err != nil {
+			panic(err)
+		}
+		payload := make([]byte, 1000)
+		rep.Benches = append(rep.Benches, perfLoop("striper_send", ops, 1000, func(int) {
+			if err := st.Send(packet.NewData(payload)); err != nil {
+				panic(err)
+			}
+			for _, q := range g.Queues {
+				q.Recv() //nolint:errcheck // drained, not inspected
+			}
+		}))
+	}
+
+	// Full pipeline, plain and traced. The traced run samples every
+	// packet so its histograms feed the quantile record.
+	pipeline := func(name string, col *obs.Collector) {
+		g := channel.NewGroup(nch, channel.Impairments{})
+		st, err := core.NewStriper(core.StriperConfig{
+			Sched:    sched.MustSRR(quanta),
+			Channels: g.Senders(),
+			Markers:  core.MarkerPolicy{Every: 4, Position: 0},
+			Obs:      col,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rs, err := core.NewResequencer(core.ResequencerConfig{
+			Sched: sched.MustSRR(quanta),
+			Mode:  core.ModeLogical,
+			Obs:   col,
+		})
+		if err != nil {
+			panic(err)
+		}
+		sizes := trace.NewBimodal(200, 1000, 0.5, cfg.Seed)
+		payload := make([]byte, 1500)
+		var bytes int64
+		bench := perfLoop(name, ops, 0, func(int) {
+			p := packet.NewData(payload[:sizes.Next()])
+			bytes += int64(p.Len())
+			if err := st.Send(p); err != nil {
+				panic(err)
+			}
+			for c, q := range g.Queues {
+				if pkt, ok := q.Recv(); ok {
+					rs.Arrive(c, pkt)
+				}
+			}
+			for {
+				if _, ok := rs.Next(); !ok {
+					break
+				}
+			}
+		})
+		if ns := bench.NsPerOp * float64(bench.Ops); ns > 0 {
+			bench.MBPerS = float64(bytes) / (ns / 1e9) / 1e6
+		}
+		rep.Benches = append(rep.Benches, bench)
+	}
+	pipeline("pipeline", nil)
+
+	col := obs.NewCollector(nch)
+	tracer := obs.NewTracer(obs.TracerConfig{Sample: 1})
+	col.SetTracer(tracer)
+	pipeline("pipeline_traced", col)
+
+	ts := tracer.Snapshot()
+	quant := func(h obs.HistogramSnapshot) map[string]int64 {
+		return map[string]int64{
+			"p50": h.Quantile(0.50),
+			"p90": h.Quantile(0.90),
+			"p99": h.Quantile(0.99),
+		}
+	}
+	rep.Quantiles["e2e"] = quant(ts.EndToEnd)
+	rep.Quantiles["reseq"] = quant(ts.ReseqDelay)
+	rep.Quantiles["hol"] = quant(ts.HeadOfLine)
+	return rep
+}

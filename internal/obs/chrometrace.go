@@ -1,0 +1,80 @@
+// Chrome trace-event export: renders completed packet lifecycles and
+// protocol events as the JSON object format understood by
+// chrome://tracing and https://ui.perfetto.dev, for offline inspection
+// of where time went. Each channel is a track (tid); every traced
+// packet contributes up to three duration slices — "gated" (first
+// gated attempt to transmit), "flight" (channel send to receive) and
+// "resequence" (receive to in-order delivery) — and every protocol
+// event an instant marker on its channel's track.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the trace-event JSON array. Timestamps
+// and durations are microseconds (the format's unit), as floats so
+// sub-microsecond protocol latencies keep three decimal digits.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func micros(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace writes traces and events as chrome://tracing JSON.
+// Pass the tracer's Recent() and a RingSink's (or flight recorder's)
+// Events(); either slice may be nil.
+func WriteChromeTrace(w io.Writer, traces []PacketTrace, events []Event) error {
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, 3*len(traces)+len(events)),
+		DisplayTimeUnit: "ns",
+	}
+	for _, t := range traces {
+		args := map[string]any{"key": t.Key, "displacement": t.Displacement}
+		tid := int64(t.Channel)
+		if t.StripedNs > 0 && t.SentNs > t.StripedNs {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "gated", Cat: "stripe", Ph: "X",
+				Ts: micros(t.StripedNs), Dur: micros(t.SentNs - t.StripedNs),
+				Pid: 1, Tid: tid, Args: args,
+			})
+		}
+		if t.SentNs > 0 && t.ArrivedNs >= t.SentNs {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "flight", Cat: "channel", Ph: "X",
+				Ts: micros(t.SentNs), Dur: micros(t.ArrivedNs - t.SentNs),
+				Pid: 1, Tid: tid, Args: args,
+			})
+		}
+		if t.ArrivedNs > 0 && t.DeliveredNs >= t.ArrivedNs {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "resequence", Cat: "reseq", Ph: "X",
+				Ts: micros(t.ArrivedNs), Dur: micros(t.DeliveredNs - t.ArrivedNs),
+				Pid: 1, Tid: tid, Args: args,
+			})
+		}
+	}
+	for _, e := range events {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: e.Kind.String(), Cat: "protocol", Ph: "i",
+			Ts: micros(e.At), Pid: 1, Tid: int64(e.Channel), S: "t",
+			Args: map[string]any{"round": e.Round, "value": e.Value},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteChromeTrace renders one full lifecycle plus an event and
+// checks the JSON decodes into well-formed trace-event records.
+func TestWriteChromeTrace(t *testing.T) {
+	traces := []PacketTrace{
+		{ // gated, flew, resequenced: three slices
+			Key: 42, Channel: 1, Displacement: 2,
+			StripedNs: 1000, SentNs: 2500, ArrivedNs: 4000,
+			BufferedNs: 4100, DeliveredNs: 9000,
+		},
+		{ // receive-side only: just the resequence slice
+			Key: 43, Channel: 0,
+			ArrivedNs: 5000, DeliveredNs: 6000,
+		},
+	}
+	events := []Event{{Seq: 1, Kind: KindResync, Channel: 1, Round: 7, Value: -3, At: 4500}}
+
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, traces, events); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("decode: %v\n%s", err, sb.String())
+	}
+	if out.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit %q", out.DisplayTimeUnit)
+	}
+	byName := map[string]int{}
+	for _, e := range out.TraceEvents {
+		byName[e.Name]++
+	}
+	if byName["gated"] != 1 || byName["flight"] != 1 || byName["resequence"] != 2 || byName["resync"] != 1 {
+		t.Fatalf("slices: %v", byName)
+	}
+	for _, e := range out.TraceEvents {
+		switch e.Name {
+		case "gated":
+			if e.Ph != "X" || e.Ts != 1.0 || e.Dur != 1.5 || e.Tid != 1 {
+				t.Fatalf("gated slice: %+v", e)
+			}
+			if e.Args["displacement"] != float64(2) {
+				t.Fatalf("gated args: %+v", e.Args)
+			}
+		case "flight":
+			if e.Ts != 2.5 || e.Dur != 1.5 {
+				t.Fatalf("flight slice: %+v", e)
+			}
+		case "resync":
+			if e.Ph != "i" || e.Ts != 4.5 || e.Tid != 1 {
+				t.Fatalf("instant: %+v", e)
+			}
+		}
+	}
+
+	// Empty input still produces a valid document.
+	sb.Reset()
+	if err := WriteChromeTrace(&sb, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"traceEvents":[]`) {
+		t.Fatalf("empty trace: %s", sb.String())
+	}
+}

@@ -2,31 +2,55 @@ package obs
 
 import "sync/atomic"
 
-// bucketBounds are the fixed upper bounds (inclusive) of the
+// displacementBounds are the fixed upper bounds (inclusive) of the
 // displacement histogram, in packets. Power-of-two spacing matches the
 // quantity's dynamic range: displacement 0 is exact FIFO, small values
 // are quasi-FIFO jitter inside a loss window, large values indicate a
 // resynchronization that took many packets. The final implicit bucket
 // is +Inf.
-var bucketBounds = [...]int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+var displacementBounds = [...]int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
-const nBuckets = len(bucketBounds) + 1 // + the +Inf bucket
+// latencyBounds are the upper bounds (inclusive) of the lifecycle
+// latency histograms, in nanoseconds: powers of four from 256 ns to
+// about 1 s. In-process striping latencies sit in the sub-microsecond
+// buckets; resequencing stalls behind a lossy channel climb toward the
+// marker period; anything in the top buckets is an outage.
+var latencyBounds = [...]int64{
+	1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18,
+	1 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 28, 1 << 30,
+}
+
+const nBuckets = len(displacementBounds) + 1 // + the +Inf bucket
 
 // Histogram is a fixed-bucket, lock-free histogram. The zero value is
-// ready to use.
+// ready to use and counts packet displacements; setBounds swaps in a
+// different bucket ladder (it must be called before the first Observe).
 type Histogram struct {
+	bounds []int64 // nil selects displacementBounds
 	counts [nBuckets]atomic.Int64
 	sum    atomic.Int64
 	count  atomic.Int64
 }
+
+func (h *Histogram) boundsOrDefault() []int64 {
+	if h.bounds != nil {
+		return h.bounds
+	}
+	return displacementBounds[:]
+}
+
+// setBounds replaces the bucket ladder (at most nBuckets-1 bounds,
+// ascending). Call before the first Observe.
+func (h *Histogram) setBounds(b []int64) { h.bounds = b }
 
 // Observe records one value.
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
 	}
+	bounds := h.boundsOrDefault()
 	i := 0
-	for i < len(bucketBounds) && v > bucketBounds[i] {
+	for i < len(bounds) && v > bounds[i] {
 		i++
 	}
 	h.counts[i].Add(1)
@@ -46,14 +70,53 @@ type HistogramSnapshot struct {
 
 // Snapshot copies the histogram.
 func (h *Histogram) Snapshot() HistogramSnapshot {
+	bounds := h.boundsOrDefault()
 	s := HistogramSnapshot{
-		Bounds:  bucketBounds[:],
-		Buckets: make([]int64, nBuckets),
+		Bounds:  bounds,
+		Buckets: make([]int64, len(bounds)+1),
 		Sum:     h.sum.Load(),
 		Count:   h.count.Load(),
 	}
-	for i := range h.counts {
+	for i := range s.Buckets {
 		s.Buckets[i] = h.counts[i].Load()
 	}
 	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) estimated from the
+// bucket counts by linear interpolation inside the covering bucket, the
+// way Prometheus histogram_quantile does. Observations in the +Inf
+// bucket clamp to the highest finite bound. Returns 0 for an empty
+// histogram. Quantile is monotone in q by construction.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	for i, cnt := range s.Buckets {
+		prev := cum
+		cum += cnt
+		if float64(cum) < rank || cnt == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: clamp to the last finite bound.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := (rank - float64(prev)) / float64(cnt)
+		return lo + int64(frac*float64(hi-lo))
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }

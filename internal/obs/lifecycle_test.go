@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestTracerLifecycle walks one packet through all five stages and
+// checks every histogram sees the right latency class.
+func TestTracerLifecycle(t *testing.T) {
+	tr := NewTracer(TracerConfig{Sample: 1})
+	c := NewCollector(2)
+	c.SetTracer(tr)
+
+	c.TraceGated(7)
+	c.TraceSend(7, 1)
+	c.TraceArrive(7, 1)
+	c.TraceBuffered(7)
+	c.TraceDeliver(7, 2)
+
+	s := tr.Snapshot()
+	if s.Tracked != 1 || s.Evicted != 0 || s.Torn != 0 {
+		t.Fatalf("tracked=%d evicted=%d torn=%d", s.Tracked, s.Evicted, s.Torn)
+	}
+	if s.EndToEnd.Count != 1 || s.ReseqDelay.Count != 1 || s.SendStall.Count != 1 {
+		t.Fatalf("histogram counts: %+v", s)
+	}
+	// Displacement 2 is out of order: no head-of-line sample.
+	if s.HeadOfLine.Count != 0 {
+		t.Fatalf("head-of-line saw displaced packet: %+v", s.HeadOfLine)
+	}
+
+	// A second, in-order packet that was never gated.
+	c.TraceSend(8, 0)
+	c.TraceArrive(8, 0)
+	c.TraceDeliver(8, 0)
+	s = tr.Snapshot()
+	if s.Tracked != 2 || s.HeadOfLine.Count != 1 {
+		t.Fatalf("after in-order packet: tracked=%d hol=%d", s.Tracked, s.HeadOfLine.Count)
+	}
+	// Never-gated packets stall zero nanoseconds (send stamp == stripe
+	// stamp), which still lands in the first bucket.
+	if s.SendStall.Count != 2 {
+		t.Fatalf("send stall count %d", s.SendStall.Count)
+	}
+
+	recent := tr.Recent()
+	if len(recent) != 2 || recent[0].Key != 7 || recent[1].Key != 8 {
+		t.Fatalf("recent: %+v", recent)
+	}
+	r := recent[0]
+	if r.Channel != 1 || r.Displacement != 2 {
+		t.Fatalf("record: %+v", r)
+	}
+	if !(r.StripedNs > 0 && r.SentNs >= r.StripedNs && r.ArrivedNs >= r.SentNs &&
+		r.BufferedNs >= r.ArrivedNs && r.DeliveredNs >= r.BufferedNs) {
+		t.Fatalf("stamps not monotone: %+v", r)
+	}
+}
+
+// TestTracerSampling checks that only keys on the sampling lattice are
+// stamped: the non-sampled path must not touch the side table.
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(TracerConfig{Sample: 16})
+	if tr.SampleEvery() != 16 {
+		t.Fatalf("SampleEvery = %d", tr.SampleEvery())
+	}
+	for key := uint64(0); key < 64; key++ {
+		tr.onSend(key, 0)
+		tr.onArrive(key, 0)
+		tr.onDeliver(key, 0)
+	}
+	if got := tr.Snapshot().Tracked; got != 4 { // keys 0, 16, 32, 48
+		t.Fatalf("tracked %d of 64 with 1-in-16 sampling", got)
+	}
+}
+
+// TestTracerEviction forces two live keys into one slot and checks the
+// loser is counted as evicted, not silently merged.
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(TracerConfig{Slots: 2, Sample: 1})
+	tr.onSend(1, 0)
+	tr.onSend(3, 0) // 3 & 1 == 1 & 1: same slot, evicts key 1
+	if got := tr.Snapshot().Evicted; got != 1 {
+		t.Fatalf("evicted = %d", got)
+	}
+	// Delivering the evicted key is a no-op; delivering the owner works.
+	tr.onDeliver(1, 0)
+	tr.onDeliver(3, 0)
+	if s := tr.Snapshot(); s.Tracked != 1 {
+		t.Fatalf("tracked = %d", s.Tracked)
+	}
+}
+
+// TestTracerArrivalOnlyClaim checks that a receive-side tracer that
+// never saw the send still measures resequencing delay.
+func TestTracerArrivalOnlyClaim(t *testing.T) {
+	tr := NewTracer(TracerConfig{Sample: 1})
+	tr.onArrive(5, 2)
+	tr.onDeliver(5, 0)
+	s := tr.Snapshot()
+	if s.Tracked != 1 || s.ReseqDelay.Count != 1 {
+		t.Fatalf("arrival-only: %+v", s)
+	}
+	// No stripe stamp: end-to-end must not record a bogus latency.
+	if s.EndToEnd.Count != 0 || s.SendStall.Count != 0 {
+		t.Fatalf("arrival-only recorded send-side stats: %+v", s)
+	}
+}
+
+// TestTracerRecentRing checks the retention ring is bounded and keeps
+// the newest records.
+func TestTracerRecentRing(t *testing.T) {
+	tr := NewTracer(TracerConfig{Sample: 1, Recent: 4})
+	for key := uint64(0); key < 10; key++ {
+		tr.onSend(key, 0)
+		tr.onDeliver(key, 0)
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("kept %d records", len(recent))
+	}
+	for i, r := range recent {
+		if want := uint64(6 + i); r.Key != want {
+			t.Fatalf("recent[%d].Key = %d, want %d", i, r.Key, want)
+		}
+	}
+
+	// Negative Recent disables retention entirely.
+	off := NewTracer(TracerConfig{Sample: 1, Recent: -1})
+	off.onSend(1, 0)
+	off.onDeliver(1, 0)
+	if got := off.Recent(); len(got) != 0 {
+		t.Fatalf("disabled retention kept %d", len(got))
+	}
+}
+
+// TestTracerNilSafety checks nil tracers and detached collectors absorb
+// the whole surface.
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	tr.onGated(1)
+	tr.onSend(1, 0)
+	tr.onArrive(1, 0)
+	tr.onBuffered(1)
+	tr.onDeliver(1, 0)
+	if s := tr.Snapshot(); s.Tracked != 0 || s.SampleEvery != 0 {
+		t.Fatalf("nil snapshot: %+v", s)
+	}
+	if tr.Recent() != nil {
+		t.Fatal("nil Recent not nil")
+	}
+
+	var c *Collector
+	c.SetTracer(nil)
+	c.TraceSend(1, 0)
+	c.TraceDeliver(1, 0)
+
+	c2 := NewCollector(1) // collector without a tracer
+	c2.TraceGated(1)
+	c2.TraceSend(1, 0)
+	c2.TraceArrive(1, 0)
+	c2.TraceBuffered(1)
+	c2.TraceDeliver(1, 0)
+	if c2.Tracer() != nil {
+		t.Fatal("phantom tracer")
+	}
+}
+
+// TestQuantile checks HistogramSnapshot.Quantile interpolation and
+// monotonicity in q.
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	h.setBounds(latencyBounds[:])
+	for i := 0; i < 1000; i++ {
+		h.Observe(int64(i) * 1000) // 0 .. 999µs
+	}
+	s := h.Snapshot()
+	if s.Quantile(0) < 0 {
+		t.Fatalf("q0 = %d", s.Quantile(0))
+	}
+	prev := int64(-1)
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 1} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gives %d after %d", q, v, prev)
+		}
+		prev = v
+	}
+	// The median of 0..999µs must land in the right order of magnitude.
+	if m := s.Quantile(0.5); m < 100_000 || m > 2_000_000 {
+		t.Fatalf("median %dns implausible", m)
+	}
+	// Empty histogram.
+	var e Histogram
+	if got := e.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d", got)
+	}
+}
+
+// TestSnapshotLifecycle checks the tracer aggregates surface through
+// Collector.Snapshot.
+func TestSnapshotLifecycle(t *testing.T) {
+	c := NewCollector(1)
+	if c.Snapshot().Lifecycle != nil {
+		t.Fatal("untraced snapshot has lifecycle")
+	}
+	tr := NewTracer(TracerConfig{Sample: 1})
+	c.SetTracer(tr)
+	c.TraceSend(0, 0)
+	c.TraceDeliver(0, 0)
+	s := c.Snapshot()
+	if s.Lifecycle == nil || s.Lifecycle.Tracked != 1 {
+		t.Fatalf("snapshot lifecycle: %+v", s.Lifecycle)
+	}
+}

@@ -80,6 +80,10 @@ type Collector struct {
 	eventSeq    atomic.Uint64
 	eventCounts [nKinds]atomic.Int64
 
+	tracer    atomic.Pointer[Tracer]       // packet lifecycle tracing (lifecycle.go)
+	checker   atomic.Pointer[Checker]      // runtime invariant checks (invariants.go)
+	creditSrc atomic.Pointer[CreditSource] // credit ledgers for the checker
+
 	mu    sync.Mutex // guards sink attachment only
 	sinks atomic.Pointer[[]Sink]
 }
@@ -142,7 +146,7 @@ func (c *Collector) emit(k Kind, channel int, round uint64, value int64) {
 	if sinks == nil {
 		return
 	}
-	e := Event{Seq: c.eventSeq.Add(1), Kind: k, Channel: channel, Round: round, Value: value}
+	e := Event{Seq: c.eventSeq.Add(1), At: sinceEpoch(), Kind: k, Channel: channel, Round: round, Value: value}
 	for _, s := range *sinks {
 		s.Event(e)
 	}
@@ -528,6 +532,16 @@ type Snapshot struct {
 
 	Displacement HistogramSnapshot
 
+	// Lifecycle is the attached packet tracer's aggregates; nil when no
+	// tracer is attached.
+	Lifecycle *TracerSnapshot `json:",omitempty"`
+
+	// InvariantViolations counts invariant-checker findings; any nonzero
+	// value means a protocol theorem was observed broken at runtime.
+	// Violations holds the most recent findings, oldest first.
+	InvariantViolations int64       `json:",omitempty"`
+	Violations          []Violation `json:",omitempty"`
+
 	Events map[string]int64 `json:",omitempty"` // per-kind event counts
 }
 
@@ -579,6 +593,14 @@ func (c *Collector) Snapshot() Snapshot {
 		}
 	}
 	s.FairnessDiscrepancy, s.FairnessBound = c.Fairness()
+	if t := c.tracer.Load(); t != nil {
+		ts := t.Snapshot()
+		s.Lifecycle = &ts
+	}
+	if ck := c.checker.Load(); ck != nil {
+		s.InvariantViolations = ck.ViolationCount()
+		s.Violations = ck.Violations()
+	}
 	for k := Kind(0); k < nKinds; k++ {
 		if n := c.eventCounts[k].Load(); n != 0 {
 			if s.Events == nil {

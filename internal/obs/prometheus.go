@@ -178,16 +178,9 @@ func WritePrometheus(w io.Writer, cols ...*Collector) {
 			}
 		})
 
-	// Displacement histogram, in native Prometheus histogram shape
-	// (cumulative buckets with an le label).
-	name := "stripe_displacement_packets"
-	fmt.Fprintf(w, "# HELP %s Reordering lateness per delivered packet (0 = in order).\n# TYPE %s histogram\n", name, name)
-	for i := range snaps {
-		base := ""
-		if snaps[i].Name != "" {
-			base = `session="` + snaps[i].Name + `"`
-		}
-		h := snaps[i].Displacement
+	// Histograms, in native Prometheus histogram shape (cumulative
+	// buckets with an le label).
+	histSamples := func(name, base string, h HistogramSnapshot) {
 		cum := int64(0)
 		for b, cnt := range h.Buckets {
 			cum += cnt
@@ -200,6 +193,85 @@ func WritePrometheus(w io.Writer, cols ...*Collector) {
 		sample(name+"_sum", base, "", h.Sum)
 		sample(name+"_count", base, "", h.Count)
 	}
+	histogram := func(name, help string, get func(*Snapshot) (HistogramSnapshot, bool)) {
+		wrote := false
+		for i := range snaps {
+			h, ok := get(&snaps[i])
+			if !ok {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+				wrote = true
+			}
+			base := ""
+			if snaps[i].Name != "" {
+				base = `session="` + snaps[i].Name + `"`
+			}
+			histSamples(name, base, h)
+		}
+	}
+
+	histogram("stripe_displacement_packets",
+		"Reordering lateness per delivered packet (0 = in order).",
+		func(s *Snapshot) (HistogramSnapshot, bool) { return s.Displacement, true })
+
+	// Lifecycle latency histograms: present only on collectors with a
+	// tracer attached.
+	lifecycleHist := func(get func(*TracerSnapshot) HistogramSnapshot) func(*Snapshot) (HistogramSnapshot, bool) {
+		return func(s *Snapshot) (HistogramSnapshot, bool) {
+			if s.Lifecycle == nil {
+				return HistogramSnapshot{}, false
+			}
+			return get(s.Lifecycle), true
+		}
+	}
+	histogram("stripe_latency_e2e_nanoseconds",
+		"Sampled packet latency from striping to in-order delivery.",
+		lifecycleHist(func(t *TracerSnapshot) HistogramSnapshot { return t.EndToEnd }))
+	histogram("stripe_latency_reseq_nanoseconds",
+		"Sampled time packets spent in the resequencer (channel receive to delivery).",
+		lifecycleHist(func(t *TracerSnapshot) HistogramSnapshot { return t.ReseqDelay }))
+	histogram("stripe_latency_hol_nanoseconds",
+		"Sampled head-of-line blocking: resequencing delay of in-order (displacement 0) packets.",
+		lifecycleHist(func(t *TracerSnapshot) HistogramSnapshot { return t.HeadOfLine }))
+	histogram("stripe_latency_send_stall_nanoseconds",
+		"Sampled delay from a packet's first credit-gated send attempt to its transmit.",
+		lifecycleHist(func(t *TracerSnapshot) HistogramSnapshot { return t.SendStall }))
+
+	lifecycleScalar := func(name, typ, help string, get func(*TracerSnapshot) int64) {
+		wrote := false
+		for i := range snaps {
+			if snaps[i].Lifecycle == nil {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+				wrote = true
+			}
+			base := ""
+			if snaps[i].Name != "" {
+				base = `session="` + snaps[i].Name + `"`
+			}
+			sample(name, base, "", get(snaps[i].Lifecycle))
+		}
+	}
+	lifecycleScalar("stripe_trace_sample_period", "gauge",
+		"Lifecycle tracing sample period (1 = every packet).",
+		func(t *TracerSnapshot) int64 { return t.SampleEvery })
+	lifecycleScalar("stripe_trace_tracked_total", "counter",
+		"Packet lifecycles completed and folded into the latency histograms.",
+		func(t *TracerSnapshot) int64 { return t.Tracked })
+	lifecycleScalar("stripe_trace_evicted_total", "counter",
+		"Trace slots reclaimed before delivery (packet loss or key collision).",
+		func(t *TracerSnapshot) int64 { return t.Evicted })
+	lifecycleScalar("stripe_trace_torn_total", "counter",
+		"Trace completions dropped because the slot was concurrently reused.",
+		func(t *TracerSnapshot) int64 { return t.Torn })
+
+	scalar("stripe_invariant_violations_total", "counter",
+		"Invariant-checker findings (Theorem 3.2 band, credit conservation, monotone rounds); any nonzero value is a protocol bug.",
+		func(s *Snapshot) int64 { return s.InvariantViolations })
 }
 
 // WritePrometheus renders this collector alone; see the package-level

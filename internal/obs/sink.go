@@ -39,13 +39,20 @@ const (
 	// Value is the occupancy (negated when the arrival was dropped at
 	// the hard cap).
 	KindReseqOverflow
+	// KindInvariantViolation: the runtime invariant checker found a
+	// protocol invariant broken (Theorem 3.2 fairness band, credit
+	// conservation, or monotone round progression). Channel is the
+	// offending channel (-1 when global), Round the checker's view of
+	// the sender round, Value the violation magnitude in the
+	// invariant's own unit (bytes over the bound, rounds regressed).
+	KindInvariantViolation
 
 	nKinds
 )
 
 var kindNames = [nKinds]string{
 	"resync", "skip", "reset", "self_heal", "fast_forward", "credit_exhausted",
-	"credit_reconcile", "reseq_overflow",
+	"credit_reconcile", "reseq_overflow", "invariant_violation",
 }
 
 // String returns the exposition name of the kind.
@@ -58,9 +65,12 @@ func (k Kind) String() string {
 
 // Event is one protocol transition. Channel is -1 for events that are
 // not channel-specific; the meanings of Round and Value depend on Kind
-// (see the Kind constants).
+// (see the Kind constants). At is nanoseconds since the process
+// timebase (the same axis as PacketTrace stamps), so events and packet
+// lifecycles interleave on one timeline in a Chrome trace.
 type Event struct {
 	Seq     uint64 // per-collector emission sequence, from 1
+	At      int64  // nanoseconds since the process timebase
 	Kind    Kind
 	Channel int
 	Round   uint64

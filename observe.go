@@ -41,13 +41,90 @@ type EventKind = obs.Kind
 
 // Protocol event kinds.
 const (
-	EventResync          = obs.KindResync
-	EventSkip            = obs.KindSkip
-	EventReset           = obs.KindReset
-	EventSelfHeal        = obs.KindSelfHeal
-	EventFastForward     = obs.KindFastForward
-	EventCreditExhausted = obs.KindCreditExhausted
+	EventResync             = obs.KindResync
+	EventSkip               = obs.KindSkip
+	EventReset              = obs.KindReset
+	EventSelfHeal           = obs.KindSelfHeal
+	EventFastForward        = obs.KindFastForward
+	EventCreditExhausted    = obs.KindCreditExhausted
+	EventCreditReconcile    = obs.KindCreditReconcile
+	EventReseqOverflow      = obs.KindReseqOverflow
+	EventInvariantViolation = obs.KindInvariantViolation
 )
+
+// Tracer is the packet lifecycle tracing side table: it stamps sampled
+// packets at stripe / channel-send / channel-receive / buffer / deliver
+// and aggregates end-to-end latency, resequencing delay, head-of-line
+// blocking, and send-stall histograms. Attach with
+// Collector.SetTracer; attach the same Tracer to both collectors of a
+// session pair to trace across them. Read it with Tracer.Snapshot (or
+// Snapshot.Lifecycle on the collector), export recent lifecycles with
+// WriteChromeTrace.
+type Tracer = obs.Tracer
+
+// TracerConfig sizes a Tracer; the zero value selects the defaults
+// (4096 slots, 1-in-16 sampling, 512 retained lifecycles).
+type TracerConfig = obs.TracerConfig
+
+// NewTracer returns a packet lifecycle tracer.
+func NewTracer(cfg TracerConfig) *Tracer { return obs.NewTracer(cfg) }
+
+// PacketTrace is one completed packet lifecycle (nanosecond stamps on
+// the process timebase).
+type PacketTrace = obs.PacketTrace
+
+// TracerSnapshot is a point-in-time copy of a Tracer's latency
+// histograms and counters.
+type TracerSnapshot = obs.TracerSnapshot
+
+// HistogramSnapshot is a fixed-bucket histogram copy; its Quantile
+// method estimates latency quantiles the way Prometheus
+// histogram_quantile does.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// WriteChromeTrace writes packet lifecycles and protocol events as
+// chrome://tracing / Perfetto JSON. Pass a Tracer's Recent() and
+// (optionally) a RingSink's or FlightRecorder's Events().
+func WriteChromeTrace(w io.Writer, traces []PacketTrace, events []Event) error {
+	return obs.WriteChromeTrace(w, traces, events)
+}
+
+// FlightRecorder is a bounded ring of recent protocol events that
+// dumps itself (events + full metrics Snapshot) when an anomaly trips:
+// credit stall, resequencer overflow, resync storm, or an invariant
+// violation. Attach with Collector.AddSink.
+type FlightRecorder = obs.FlightRecorder
+
+// FlightRecorderConfig tunes a FlightRecorder; the zero value selects
+// the defaults (256 events, 8-resync storm in 100ms, 1s dump cooldown).
+type FlightRecorderConfig = obs.FlightRecorderConfig
+
+// FlightDump is one flight-recorder post-mortem.
+type FlightDump = obs.FlightDump
+
+// NewFlightRecorder returns a flight recorder that snapshots c when an
+// anomaly trips; attach it with c.AddSink.
+func NewFlightRecorder(c *Collector, cfg FlightRecorderConfig) *FlightRecorder {
+	return obs.NewFlightRecorder(c, cfg)
+}
+
+// Checker is the runtime invariant checker: on every engine flush it
+// asserts the Theorem 3.2 fairness band, per-channel credit
+// conservation, and monotone round progression, surfacing violations
+// as events, metrics, and Snapshot.Violations. Attach with
+// Collector.SetChecker (NewSession registers the credit ledgers
+// automatically when flow control is on).
+type Checker = obs.Checker
+
+// NewChecker returns a runtime invariant checker.
+func NewChecker() *Checker { return obs.NewChecker() }
+
+// Violation is one invariant-checker finding.
+type Violation = obs.Violation
+
+// CreditAccount is one channel's flow-control ledger as seen by the
+// checker's credit-conservation check.
+type CreditAccount = obs.CreditAccount
 
 // EventSink observes protocol events; attach with Collector.AddSink.
 type EventSink = obs.Sink

@@ -1,6 +1,7 @@
 package stripe
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
@@ -71,6 +72,7 @@ func TestServeEndpoints(t *testing.T) {
 
 	const nch = 2
 	col := NewNamedCollector("servetest", nch)
+	col.SetTracer(NewTracer(TracerConfig{Sample: 1}))
 	g := channel.NewGroup(nch, channel.Impairments{})
 	tx, err := NewSender(g.Senders(), Config{
 		Quanta:    UniformQuanta(nch, 1500),
@@ -84,6 +86,12 @@ func TestServeEndpoints(t *testing.T) {
 		if err := tx.SendBytes(make([]byte, 700)); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// Complete some lifecycles on the receive side so the trace export
+	// and the latency histograms have content.
+	for key := uint64(0); key < 100; key++ {
+		col.TraceArrive(key, int(key%nch))
+		col.TraceDeliver(key, 0)
 	}
 
 	srv, err := Serve("127.0.0.1:0", col)
@@ -113,10 +121,28 @@ func TestServeEndpoints(t *testing.T) {
 		`stripe_resync_events_total{session="servetest"`,
 		`stripe_fairness_discrepancy_bytes{session="servetest"}`,
 		`stripe_fairness_bound_bytes{session="servetest"}`,
+		`stripe_latency_reseq_nanoseconds_bucket{session="servetest",le="+Inf"} 100`,
+		`stripe_latency_reseq_nanoseconds_count{session="servetest"} 100`,
+		`stripe_trace_sample_period{session="servetest"} 1`,
+		`stripe_invariant_violations_total{session="servetest"} 0`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q\n%s", want, body)
 		}
+	}
+
+	code, body = get("/debug/stripe/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/stripe/trace status %d", code)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatalf("/debug/stripe/trace not valid JSON: %v\n%s", err, body)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("/debug/stripe/trace has no events despite completed lifecycles")
 	}
 
 	code, body = get("/debug/vars")

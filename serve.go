@@ -18,9 +18,11 @@ type Server struct {
 
 // Serve starts an HTTP endpoint exposing the given collectors:
 //
-//	/metrics       Prometheus text exposition (all stripe_* metrics)
-//	/debug/vars    expvar, with each collector published as JSON
-//	/debug/pprof/  the standard net/http/pprof profiles
+//	/metrics             Prometheus text exposition (all stripe_* metrics)
+//	/debug/vars          expvar, with each collector published as JSON
+//	/debug/pprof/        the standard net/http/pprof profiles
+//	/debug/stripe/trace  chrome://tracing JSON of recent packet
+//	                     lifecycles (collectors with a Tracer attached)
 //
 // addr is a TCP listen address such as ":9090" or "127.0.0.1:0"; use
 // Server.Addr to learn the bound address when the port was 0. The
@@ -44,6 +46,22 @@ func Serve(addr string, cols ...*Collector) (*Server, error) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		obs.WritePrometheus(w, live...)
+	})
+	mux.HandleFunc("/debug/stripe/trace", func(w http.ResponseWriter, _ *http.Request) {
+		// One timeline across all collectors: every tracer's recent
+		// lifecycles plus each collector's retained events share the
+		// process timebase. Distinct tracers are deduplicated (a session
+		// pair usually shares one).
+		var traces []PacketTrace
+		seen := map[*Tracer]bool{}
+		for _, c := range live {
+			if t := c.Tracer(); t != nil && !seen[t] {
+				seen[t] = true
+				traces = append(traces, t.Recent()...)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w, traces, nil) //nolint:errcheck // client gone
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

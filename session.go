@@ -7,6 +7,7 @@ import (
 
 	"stripe/internal/core"
 	"stripe/internal/flowcontrol"
+	"stripe/internal/obs"
 	"stripe/internal/packet"
 )
 
@@ -62,11 +63,20 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 	s.rxCond = sync.NewCond(&s.mu)
 
 	// Receive side first: the credit manager reads its drain counters.
+	maxBuf := cfg.MaxBuffered
+	switch {
+	case maxBuf < 0: // explicitly unbounded
+		maxBuf = 0
+	case maxBuf == 0 && cfg.CreditWindow > 0:
+		// Flow control bounds legitimate occupancy, so default to the
+		// cap it implies instead of unbounded memory.
+		maxBuf = DefaultMaxBuffered(n, cfg.CreditWindow, cfg.Quanta)
+	}
 	rcfg := core.ResequencerConfig{
 		Mode:        cfg.Mode,
 		N:           n,
 		Obs:         cfg.Collector,
-		MaxBuffered: cfg.MaxBuffered,
+		MaxBuffered: maxBuf,
 		// Invoked from the receive path with s.mu already held.
 		OnMarker: func(c int, m packet.MarkerBlock) {
 			if m.Credits == 0 || s.gate == nil {
@@ -120,6 +130,23 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 		s.mgr = mgr
 		scfg.Gate = gate
 		scfg.MarkerCredits = func(c int) uint64 { return uint64(mgr.GrantFor(c)) }
+		// Feed the invariant checker the gate's live credit ledgers. The
+		// checker runs from flush paths that already hold s.mu, which is
+		// also what guards the gate, so the reads are consistent.
+		window := cfg.CreditWindow
+		cfg.Collector.SetCreditSource(func() []obs.CreditAccount {
+			accts := make([]obs.CreditAccount, n)
+			for c := 0; c < n; c++ {
+				sent := gate.Sent(c)
+				accts[c] = obs.CreditAccount{
+					Channel:  c,
+					Granted:  sent + gate.Remaining(c),
+					Consumed: sent,
+					Window:   window,
+				}
+			}
+			return accts
+		})
 	}
 	st, err := core.NewStriper(scfg)
 	if err != nil {

@@ -98,7 +98,9 @@ type Config struct {
 	// MaxBuffered caps the receiver's total buffered packets, making
 	// resequencer memory hard-bounded: above the cap ordering is
 	// abandoned for the backlog until it halves, and above twice the cap
-	// arrivals are dropped like channel loss. Zero means unbounded.
+	// arrivals are dropped like channel loss. Zero selects
+	// DefaultMaxBuffered in sessions with flow control enabled (and
+	// unbounded elsewhere); negative means explicitly unbounded.
 	MaxBuffered int
 	// Collector, when non-nil, receives runtime metrics and protocol
 	// events from every engine built with this Config. Size it with
@@ -109,6 +111,46 @@ type Config struct {
 
 // NoMarkers disables periodic markers when assigned to Markers.Every.
 const NoMarkers = ^uint64(0)
+
+// DefaultMaxBuffered derives a principled resequencer buffer cap from
+// the flow-control configuration: n channels, a per-channel credit
+// window of window bytes, and the configured quanta.
+//
+// FCVC flow control already bounds what the cap must hold: the peer can
+// have at most window un-granted bytes outstanding per channel, so the
+// resequencer never legitimately buffers more than n·window payload
+// bytes. Converting bytes to a packet count needs a floor on packet
+// size; quanta are calibrated to the maximum packet (each quantum ≥ max
+// packet size), and the paper's workloads put typical packets within a
+// small factor of the maximum, so min(quanta)/8 is used as the floor —
+// tiny-packet floods beyond that are exactly the pathology the cap
+// exists to bound. The result is
+//
+//	cap = 8 · n · ⌈window / min(quanta)⌉
+//
+// with a floor of 64 packets so small windows never cripple reordering
+// tolerance. Returns 0 (unbounded) when window or the quanta are
+// non-positive. See DESIGN.md "Bounded resequencer memory".
+func DefaultMaxBuffered(n int, window int64, quanta []int64) int {
+	if n <= 0 || window <= 0 {
+		return 0
+	}
+	minQ := int64(0)
+	for _, q := range quanta {
+		if q > 0 && (minQ == 0 || q < minQ) {
+			minQ = q
+		}
+	}
+	if minQ == 0 {
+		return 0
+	}
+	per := (window + minQ - 1) / minQ
+	cap64 := 8 * int64(n) * per
+	if cap64 < 64 {
+		return 64
+	}
+	return int(cap64)
+}
 
 func (c Config) sched() (sched.RoundBased, error) {
 	switch c.Scheme {
@@ -235,7 +277,11 @@ func NewReceiver(n int, cfg Config) (*Receiver, error) {
 	if len(cfg.Quanta) != n {
 		return nil, errors.New("stripe: Quanta must have one entry per channel")
 	}
-	rcfg := core.ResequencerConfig{Mode: cfg.Mode, N: n, Obs: cfg.Collector, MaxBuffered: cfg.MaxBuffered}
+	maxBuf := cfg.MaxBuffered
+	if maxBuf < 0 { // explicitly unbounded
+		maxBuf = 0
+	}
+	rcfg := core.ResequencerConfig{Mode: cfg.Mode, N: n, Obs: cfg.Collector, MaxBuffered: maxBuf}
 	if cfg.Mode == ModeLogical {
 		s, err := cfg.sched()
 		if err != nil {
