@@ -8,6 +8,9 @@
 //	stripebench -list            # what exists
 //	stripebench -quick           # reduced scale (seconds, not minutes)
 //	stripebench -json            # machine-readable perf record on stdout
+//	stripebench -compare old.json new.json
+//	                             # diff two -json records, exit 1 on a
+//	                             # >15% ns/op or MB/s regression
 //
 // -json runs the hot-path perf suite (ns/op, MB/s, lifecycle latency
 // quantiles) and emits one JSON document, plus the structured tables of
@@ -35,8 +38,17 @@ func main() {
 		quick   = flag.Bool("quick", false, "reduced-scale runs")
 		seed    = flag.Int64("seed", 1, "experiment seed")
 		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON perf record instead of tables")
+		compare = flag.Bool("compare", false, "compare two -json records (old.json new.json) and exit non-zero on a >15% regression")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: stripebench -compare old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), regressionThreshold))
+	}
 
 	if *list {
 		for _, e := range harness.All() {

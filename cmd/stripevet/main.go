@@ -1,0 +1,159 @@
+// Command stripevet runs the module's protocol-aware static-analysis
+// suite (internal/analysis): machine-checked enforcement of the
+// implementation discipline the paper's theorems rest on.
+//
+//	go run ./cmd/stripevet ./...          # whole module (the CI gate)
+//	go run ./cmd/stripevet ./internal/... # a subtree
+//	go run ./cmd/stripevet -list          # passes and their rules
+//	go run ./cmd/stripevet -pass hotpath,intwidth ./...
+//
+// Patterns are module-relative directory patterns in the go tool's
+// style ("./..." recurses). Every pass runs over its own scope (the
+// intwidth pass, for example, polices only the deficit/credit/codec
+// packages); any finding exits non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"stripe/internal/analysis"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list passes and exit")
+		passes = flag.String("pass", "", "comma-separated pass names (default: all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range analysis.Passes {
+			fmt.Printf("%-15s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := analysis.Load(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	pkgs, err := selectPackages(prog, root, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	todo := analysis.Passes
+	if *passes != "" {
+		todo = nil
+		for _, name := range strings.Split(*passes, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, p := range analysis.Passes {
+				if p.Name == name {
+					todo = append(todo, p)
+					found = true
+				}
+			}
+			if !found {
+				fatal(fmt.Errorf("unknown pass %q (try -list)", name))
+			}
+		}
+	}
+
+	var all []analysis.Diagnostic
+	for _, p := range todo {
+		all = append(all, p.RunScoped(prog, pkgs)...)
+	}
+	analysis.SortDiagnostics(all)
+	for _, d := range all {
+		rel := d
+		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "stripevet: %d finding(s)\n", len(all))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("stripevet: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// selectPackages resolves go-tool-style directory patterns against the
+// loaded program. No patterns (or "./...") selects everything.
+func selectPackages(prog *analysis.Program, root string, patterns []string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		return prog.Pkgs, nil
+	}
+	var out []*analysis.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		if pat == "." || pat == "./" || pat == "" {
+			pat = "."
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("stripevet: pattern %q is outside the module", pat)
+		}
+		want := prog.ModPath
+		if rel != "." {
+			want = prog.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		matched := false
+		for _, pkg := range prog.Pkgs {
+			ok := pkg.Path == want || (recursive && strings.HasPrefix(pkg.Path, want+"/")) ||
+				(recursive && pkg.Path == want)
+			if ok && !seen[pkg.Path] {
+				seen[pkg.Path] = true
+				out = append(out, pkg)
+				matched = true
+			} else if ok {
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("stripevet: pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stripevet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,381 @@
+// Package analysis is stripevet's engine: a stdlib-only static-analysis
+// driver (go/parser + go/types + go/importer — deliberately no x/tools,
+// preserving the module's zero-dependency constraint) plus the
+// protocol-aware passes that enforce the implementation discipline the
+// paper's theorems rest on.
+//
+// The driver loads every package of the module rooted at a go.mod,
+// type-checks them in dependency order with a shared FileSet and
+// importer (so types.Object identity holds across packages), and hands
+// the typed syntax to each pass. A pass returns Diagnostics; any
+// diagnostic fails the build.
+//
+// Passes:
+//
+//   - hotpath: functions annotated //stripe:hotpath must not allocate,
+//     acquire locks, call fmt/log/reflect, or perform blocking channel
+//     operations — transitively through the in-module static call
+//     graph. //stripe:allowescape exempts a callee (see annotations.go).
+//   - atomicfield: a struct field accessed through sync/atomic anywhere
+//     must be accessed atomically everywhere, and 64-bit atomic fields
+//     must sit at 8-byte-aligned offsets even under 32-bit layout.
+//   - intwidth: value-changing integer conversions in the deficit /
+//     quantum / byte-count arithmetic packages must carry an
+//     explanatory comment on the same or preceding line.
+//   - sinkdiscipline: protocol events are born in the obs collector;
+//     code outside internal/obs must not construct obs.Event values or
+//     call sink Event methods, and hot-path code must emit only through
+//     the nil-safe, sampled *obs.Collector hooks.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding. Any diagnostic is a failure: the passes
+// encode rules, not suggestions.
+type Diagnostic struct {
+	Pos  token.Position
+	Pass string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Pass, d.Msg)
+}
+
+// Package is one type-checked package of the program.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a loaded, type-checked module.
+type Program struct {
+	Fset    *token.FileSet
+	ModPath string // module path from go.mod
+	Root    string // absolute module root
+	Pkgs    []*Package
+
+	byPath map[string]*Package
+	std    types.Importer
+	// decls maps every function/method object declared in the program
+	// (module packages plus any LoadDir extras) to its syntax.
+	decls map[*types.Func]*funcDecl
+}
+
+type funcDecl struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// Pass is one stripevet rule set.
+type Pass struct {
+	Name string
+	Doc  string
+	// InScope, when non-nil, restricts the pass to packages whose
+	// import path it accepts when run through RunScoped (the stripevet
+	// CLI). Run itself analyzes exactly the packages it is given.
+	InScope func(pkgPath string) bool
+	Run     func(prog *Program, pkgs []*Package) []Diagnostic
+}
+
+// Passes is the full stripevet suite, in reporting order.
+var Passes = []*Pass{HotPath, AtomicField, IntWidth, SinkDiscipline}
+
+// RunScoped runs the pass over the packages its scope accepts and
+// returns the findings sorted by position.
+func (p *Pass) RunScoped(prog *Program, pkgs []*Package) []Diagnostic {
+	in := pkgs
+	if p.InScope != nil {
+		in = nil
+		for _, pkg := range pkgs {
+			if p.InScope(pkg.Path) {
+				in = append(in, pkg)
+			}
+		}
+	}
+	ds := p.Run(prog, in)
+	SortDiagnostics(ds)
+	return ds
+}
+
+// SortDiagnostics orders findings by file, line, column, pass.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+}
+
+// Load parses and type-checks every package of the module rooted at
+// root (the directory containing go.mod).
+func Load(root string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Fset:    token.NewFileSet(),
+		ModPath: modPath,
+		Root:    root,
+		byPath:  make(map[string]*Package),
+		decls:   make(map[*types.Func]*funcDecl),
+	}
+	dirs, err := moduleDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := prog.importPkg(path); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	return prog, nil
+}
+
+// LoadDir type-checks one extra directory as a package with the given
+// import path, able to import module packages through the program's
+// loader. The self-test corpus uses it to bring testdata packages
+// (which the go tool itself never builds) into the typed program.
+func (p *Program) LoadDir(dir, asPath string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return p.checkDir(dir, asPath)
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// moduleDirs lists every directory under root holding buildable Go
+// files, skipping testdata, hidden and underscore-prefixed directories.
+func moduleDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if ents, err := os.ReadDir(path); err == nil {
+			for _, e := range ents {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+					dirs = append(dirs, path)
+					break
+				}
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// Import implements types.Importer: module-internal paths load (and
+// type-check) recursively; everything else resolves through the
+// toolchain's export data, falling back to type-checking the standard
+// library from source when export data is unavailable.
+func (p *Program) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == p.ModPath || strings.HasPrefix(path, p.ModPath+"/") {
+		pkg, err := p.importPkg(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if p.std == nil {
+		p.std = importer.Default()
+	}
+	tp, err := p.std.Import(path)
+	if err != nil {
+		// Toolchains without packaged export data: fall back to the
+		// source importer (slower, still stdlib-only).
+		src := importer.ForCompiler(p.Fset, "source", nil)
+		if tp2, err2 := src.Import(path); err2 == nil {
+			p.std = src
+			return tp2, nil
+		}
+		return nil, err
+	}
+	return tp, nil
+}
+
+func (p *Program) importPkg(path string) (*Package, error) {
+	if pkg, ok := p.byPath[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, p.ModPath), "/")
+	dir := filepath.Join(p.Root, filepath.FromSlash(rel))
+	p.byPath[path] = nil // cycle guard
+	pkg, err := p.checkDir(dir, path)
+	if err != nil {
+		delete(p.byPath, path)
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// checkDir parses and type-checks the package in dir under import path
+// asPath, registering it with the program.
+func (p *Program) checkDir(dir, asPath string) (*Package, error) {
+	ctx := build.Default
+	bp, err := ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{Importer: p}
+	tp, err := cfg.Check(asPath, p.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", asPath, err)
+	}
+	pkg := &Package{Path: asPath, Dir: dir, Files: files, Types: tp, Info: info}
+	p.byPath[asPath] = pkg
+	p.Pkgs = append(p.Pkgs, pkg)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+					p.decls[obj] = &funcDecl{decl: fd, pkg: pkg}
+				}
+			}
+		}
+	}
+	return pkg, nil
+}
+
+// declOf returns the syntax of a program-declared function, resolving
+// generic instantiations to their origin. Nil for functions without
+// bodies in the program (stdlib, interface methods).
+func (p *Program) declOf(fn *types.Func) *funcDecl {
+	if fn == nil {
+		return nil
+	}
+	if d, ok := p.decls[fn]; ok {
+		return d
+	}
+	return p.decls[fn.Origin()]
+}
+
+// calleeOf statically resolves a call expression to the function it
+// invokes. Interface method calls and func-value calls return the
+// abstract *types.Func (no body) or nil; conversions return nil.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isConversion reports whether the call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	return ok && tv.IsType()
+}
+
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

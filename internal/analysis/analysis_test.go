@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// The corpus harness: each testdata package is type-checked through
+// the analysis loader (the go tool itself never builds testdata) and
+// run through exactly one pass. Expectations ride in the source as
+//
+//	// want "regex"            finding on this line
+//	// want "re1" "re2"        two findings on this line
+//	// want+N "regex"          finding N lines below (for the intwidth
+//	//                         corpus, where a same-line comment would
+//	//                         itself justify the conversion)
+//
+// Every finding must match an expectation and every expectation must
+// be matched — unexpected silence and unexpected noise both fail.
+
+var (
+	progOnce sync.Once
+	progVal  *Program
+	progMod  []*Package // module packages only, snapshotted before LoadDir
+	progErr  error
+)
+
+func sharedProgram(t *testing.T) (*Program, []*Package) {
+	t.Helper()
+	progOnce.Do(func() {
+		progVal, progErr = Load("../..")
+		if progErr == nil {
+			progMod = append([]*Package(nil), progVal.Pkgs...)
+		}
+	})
+	if progErr != nil {
+		t.Fatalf("loading module: %v", progErr)
+	}
+	return progVal, progMod
+}
+
+type expectation struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+var (
+	wantLine = regexp.MustCompile(`^//\s*want([+-]\d+)?\s+(.+)$`)
+	wantArg  = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+)
+
+// parseWants collects want expectations from a package's comments,
+// keyed by filename and (offset-adjusted) line.
+func parseWants(t *testing.T, prog *Program, pkg *Package) map[string]map[int][]*expectation {
+	t.Helper()
+	wants := make(map[string]map[int][]*expectation)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantLine.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] != "" {
+					off, err := strconv.Atoi(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want offset %q", pos, m[1])
+					}
+					line += off
+				}
+				args := wantArg.FindAllString(m[2], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s: want comment without a quoted regex", pos)
+				}
+				for _, q := range args {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: unquoting %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: compiling %q: %v", pos, s, err)
+					}
+					if wants[pos.Filename] == nil {
+						wants[pos.Filename] = make(map[int][]*expectation)
+					}
+					wants[pos.Filename][line] = append(wants[pos.Filename][line], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func runCorpus(t *testing.T, p *Pass, dir string) {
+	prog, _ := sharedProgram(t)
+	pkg, err := prog.LoadDir(filepath.Join("testdata", dir), "stripevet.test/"+dir)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", dir, err)
+	}
+	wants := parseWants(t, prog, pkg)
+	ds := p.Run(prog, []*Package{pkg})
+	for _, d := range ds {
+		matched := false
+		for _, e := range wants[d.Pos.Filename][d.Pos.Line] {
+			if !e.used && e.re.MatchString(d.Msg) {
+				e.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for file, lines := range wants {
+		for line, exps := range lines {
+			for _, e := range exps {
+				if !e.used {
+					t.Errorf("%s:%d: no finding matched %q", file, line, e.re)
+				}
+			}
+		}
+	}
+}
+
+func TestHotPathCorpus(t *testing.T)        { runCorpus(t, HotPath, "hotpath") }
+func TestAtomicFieldCorpus(t *testing.T)    { runCorpus(t, AtomicField, "atomicfield") }
+func TestIntWidthCorpus(t *testing.T)       { runCorpus(t, IntWidth, "intwidth") }
+func TestSinkDisciplineCorpus(t *testing.T) { runCorpus(t, SinkDiscipline, "sinkdiscipline") }
+
+// TestRepoClean is the green half of the corpus's red: the whole
+// module, under every pass at its CLI scope, must be finding-free.
+// A seeded violation anywhere in the annotated protocol core (a
+// hot-path allocation, a plain read of an atomic field) turns this
+// red, as the corpus proves the passes detect.
+func TestRepoClean(t *testing.T) {
+	prog, mod := sharedProgram(t)
+	for _, p := range Passes {
+		for _, d := range p.RunScoped(prog, mod) {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestHotSetTransitivity pins the traversal contract: the hot set
+// reaches through static in-module calls and stops at allowescape
+// hatches and dynamic calls.
+func TestHotSetTransitivity(t *testing.T) {
+	prog, _ := sharedProgram(t)
+	pkg := prog.Package("stripevet.test/hotpath")
+	if pkg == nil {
+		var err error
+		pkg, err = prog.LoadDir(filepath.Join("testdata", "hotpath"), "stripevet.test/hotpath")
+		if err != nil {
+			t.Fatalf("loading corpus: %v", err)
+		}
+	}
+	hot, escapes := hotSet(prog, []*Package{pkg})
+	names := make(map[string]bool)
+	for fn := range hot {
+		names[fn.Name()] = true
+	}
+	for _, want := range []string{"HotTransitive", "middle", "leaf"} {
+		if !names[want] {
+			t.Errorf("hot set misses %s; have %v", want, names)
+		}
+	}
+	if names["coldReset"] || names["badEscape"] {
+		t.Errorf("allowescape functions leaked into the hot set: %v", names)
+	}
+	if names["PlainAllocator"] {
+		t.Errorf("unannotated, unreachable function in hot set")
+	}
+	escaped := make(map[string]bool)
+	for _, hf := range escapes {
+		escaped[hf.fn.Name()] = true
+	}
+	if !escaped["coldReset"] || !escaped["badEscape"] {
+		t.Errorf("escape frontier incomplete: %v", escaped)
+	}
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Annotation directives. They ride in function doc comments:
+//
+//	//stripe:hotpath
+//	    The function is a protocol hot path: it and everything it
+//	    (statically, in-module) calls must not allocate, lock, call
+//	    fmt/log/reflect, or block on channels.
+//
+//	//stripe:allowescape <reason>
+//	    The function is exempt from hot-path traversal even when
+//	    reached from a hot root — for amortized or cold sub-paths
+//	    (marker batches, reset handling, error construction, sampled
+//	    retention). The reason is mandatory: an escape hatch without a
+//	    justification is itself a finding.
+const (
+	directiveHotPath     = "//stripe:hotpath"
+	directiveAllowEscape = "//stripe:allowescape"
+)
+
+type annotations struct {
+	hotpath     bool
+	allowescape bool
+	escapeWhy   string
+}
+
+// annotationsOf parses the stripe directives from a function's doc
+// comment. Directives must start the comment line (the go directive
+// convention: no space after //).
+func annotationsOf(fd *ast.FuncDecl) annotations {
+	var a annotations
+	if fd == nil || fd.Doc == nil {
+		return a
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		switch {
+		case text == directiveHotPath:
+			a.hotpath = true
+		case text == directiveAllowEscape || strings.HasPrefix(text, directiveAllowEscape+" "):
+			a.allowescape = true
+			a.escapeWhy = strings.TrimSpace(strings.TrimPrefix(text, directiveAllowEscape))
+		}
+	}
+	return a
+}
+
+// hotFunc is one member of the transitive hot set.
+type hotFunc struct {
+	fn    *types.Func
+	decl  *ast.FuncDecl
+	pkg   *Package
+	chain string // call chain from its //stripe:hotpath root, for messages
+}
+
+// hotSet computes the transitive hot set: every function annotated
+// //stripe:hotpath in the given packages, plus everything reachable
+// from them through static in-module calls, stopping at
+// //stripe:allowescape functions and at dynamic (interface or func
+// value) call sites. The returned escape set holds the allowescape
+// frontier that was reached, so passes can validate the hatches too.
+func hotSet(prog *Program, pkgs []*Package) (hot map[*types.Func]*hotFunc, escapes []*hotFunc) {
+	hot = make(map[*types.Func]*hotFunc)
+	var queue []*hotFunc
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !annotationsOf(fd).hotpath {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok || hot[obj] != nil {
+					continue
+				}
+				hf := &hotFunc{fn: obj, decl: fd, pkg: pkg, chain: funcName(obj)}
+				hot[obj] = hf
+				queue = append(queue, hf)
+			}
+		}
+	}
+	seenEscape := make(map[*types.Func]bool)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.decl.Body == nil {
+			continue
+		}
+		ast.Inspect(cur.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(cur.pkg.Info, call)
+			fd := prog.declOf(callee)
+			if fd == nil || fd.decl.Body == nil {
+				return true // out of module, dynamic, or bodiless
+			}
+			if hot[callee] != nil {
+				return true
+			}
+			hf := &hotFunc{fn: callee, decl: fd.decl, pkg: fd.pkg,
+				chain: cur.chain + " -> " + funcName(callee)}
+			if annotationsOf(fd.decl).allowescape {
+				if !seenEscape[callee] {
+					seenEscape[callee] = true
+					escapes = append(escapes, hf)
+				}
+				return true // hatch: do not descend
+			}
+			hot[callee] = hf
+			queue = append(queue, hf)
+			return true
+		})
+	}
+	return hot, escapes
+}
+
+// funcName renders a function for diagnostics: Name, (T).Method or
+// (*T).Method, package-qualified when outside the module root package.
+func funcName(fn *types.Func) string {
+	if fn == nil {
+		return "<unknown>"
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return "(" + types.TypeString(sig.Recv().Type(), types.RelativeTo(fn.Pkg())) + ")." + fn.Name()
+	}
+	return fn.Name()
+}

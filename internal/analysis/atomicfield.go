@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces the metrics core's concurrency contract: a
+// struct field accessed through sync/atomic anywhere must be accessed
+// atomically at every site — one plain load next to a thousand atomic
+// ones is still a data race — and 64-bit fields driven by the
+// address-taking sync/atomic functions must sit at 8-byte-aligned
+// offsets even under 32-bit struct layout (the runtime faults on
+// misaligned 64-bit atomics on 32-bit targets).
+//
+// Typed atomics (atomic.Int64 and friends) are access-safe by
+// construction and alignment-safe by their embedded align64 marker, but
+// copying one copies the value non-atomically, so value copies of
+// typed-atomic fields are findings too. Keyed composite-literal
+// initialization is exempt: a value not yet published cannot race.
+const atomicFieldName = "atomicfield"
+
+var AtomicField = &Pass{
+	Name: atomicFieldName,
+	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere, with 64-bit alignment",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(prog *Program, pkgs []*Package) []Diagnostic {
+	var ds []Diagnostic
+
+	// Pass 1: collect old-style atomic fields — fields whose address is
+	// passed to a sync/atomic function — plus the selector nodes that
+	// appear inside those sanctioned call arguments.
+	atomicFields := make(map[*types.Var]string) // field -> atomic fn that marked it
+	wide := make(map[*types.Var]bool)           // 64-bit atomic ops seen
+	owners := make(map[*types.Var]*types.Struct)
+	for _, pkg := range pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeOf(info, call)
+				if callee == nil || pkgPathOf(callee) != "sync/atomic" || len(call.Args) == 0 {
+					return true
+				}
+				sel := addressedField(info, call.Args[0])
+				if sel == nil {
+					return true
+				}
+				field := fieldOf(info, sel)
+				if field == nil {
+					return true
+				}
+				if _, seen := atomicFields[field]; !seen {
+					atomicFields[field] = callee.Name()
+				}
+				if strings.Contains(callee.Name(), "Int64") || strings.Contains(callee.Name(), "Uint64") {
+					wide[field] = true
+				}
+				if s := recvStruct(info, sel); s != nil {
+					owners[field] = s
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: every other access to those fields must be atomic, and
+	// typed-atomic fields must never be copied by value.
+	for _, pkg := range pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			parents := parentMap(file)
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				field := fieldOf(info, sel)
+				if field == nil {
+					return true
+				}
+				if via, isAtomic := atomicFields[field]; isAtomic {
+					if !isAddressOperand(parents, sel) {
+						ds = append(ds, Diagnostic{
+							Pos:  prog.Fset.Position(sel.Pos()),
+							Pass: atomicFieldName,
+							Msg: fmt.Sprintf("non-atomic access of field %s, elsewhere accessed via atomic.%s",
+								fieldName(field), via),
+						})
+					}
+					return true
+				}
+				if isTypedAtomic(field.Type()) && !typedAtomicUseOK(info, parents, sel) {
+					ds = append(ds, Diagnostic{
+						Pos:  prog.Fset.Position(sel.Pos()),
+						Pass: atomicFieldName,
+						Msg: fmt.Sprintf("field %s of type %s copied by value; use its atomic methods or take its address",
+							fieldName(field), field.Type()),
+					})
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 3: 64-bit alignment of old-style atomic fields under 32-bit
+	// layout. Typed atomics carry their own align64 padding.
+	sizes := types.SizesFor("gc", "386")
+	for field, isWide := range wide {
+		if !isWide {
+			continue
+		}
+		st := owners[field]
+		if st == nil {
+			continue
+		}
+		fields := make([]*types.Var, st.NumFields())
+		idx := -1
+		for i := 0; i < st.NumFields(); i++ {
+			fields[i] = st.Field(i)
+			if st.Field(i) == field {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		offsets := sizes.Offsetsof(fields)
+		if offsets[idx]%8 != 0 {
+			ds = append(ds, Diagnostic{
+				Pos:  prog.Fset.Position(field.Pos()),
+				Pass: atomicFieldName,
+				Msg: fmt.Sprintf("64-bit atomic field %s at 32-bit offset %d (not 8-byte aligned); move it first in the struct or use atomic.%s",
+					fieldName(field), offsets[idx], alignedTypeFor(field)),
+			})
+		}
+	}
+	return ds
+}
+
+// addressedField unwraps &expr to a field selector, or nil.
+func addressedField(info *types.Info, arg ast.Expr) *ast.SelectorExpr {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return sel
+}
+
+// fieldOf resolves a selector to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// recvStruct returns the struct type the selection reads through
+// (after pointer indirection), or nil.
+func recvStruct(info *types.Info, sel *ast.SelectorExpr) *types.Struct {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	t := s.Recv()
+	// Walk the embedding path to the struct that directly owns the field.
+	for i, idx := range s.Index() {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return nil
+		}
+		if i == len(s.Index())-1 {
+			return st
+		}
+		t = st.Field(idx).Type()
+	}
+	return nil
+}
+
+// parentMap records each node's parent within one file.
+func parentMap(file *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// isAddressOperand reports whether the selector is the direct operand
+// of &: atomic call arguments are, and passing the field's address to
+// an atomic helper is equally sanctioned.
+func isAddressOperand(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	p := parents[sel]
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		p = parents[pe]
+	}
+	u, ok := p.(*ast.UnaryExpr)
+	return ok && u.Op == token.AND
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed
+// atomics (atomic.Int64, atomic.Pointer[T], ...).
+func isTypedAtomic(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// typedAtomicUseOK reports whether a selector to a typed-atomic field
+// is used safely: as the receiver of a method call, or with its
+// address taken.
+func typedAtomicUseOK(info *types.Info, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	if isAddressOperand(parents, sel) {
+		return true
+	}
+	outer, ok := parents[sel].(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[outer]
+	return ok && s.Kind() == types.MethodVal
+}
+
+func fieldName(v *types.Var) string {
+	if v.Pkg() != nil {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+// alignedTypeFor names the typed-atomic replacement for a raw 64-bit
+// atomic field, for the fix suggestion.
+func alignedTypeFor(v *types.Var) string {
+	if b, ok := v.Type().Underlying().(*types.Basic); ok && b.Kind() == types.Uint64 {
+		return "Uint64"
+	}
+	return "Int64"
+}

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath enforces the hot-path discipline behind the <5% observability
+// overhead budget: a function annotated //stripe:hotpath — the striper
+// select/update path, the resequencer insert/drain path, the collector
+// and tracer record paths — must not allocate, acquire locks, call
+// fmt/log/reflect, start goroutines, or perform blocking channel
+// operations. The rule is transitive over the in-module static call
+// graph; //stripe:allowescape (with a mandatory reason) exempts an
+// amortized or cold callee, and dynamic calls (interface methods, func
+// values) end traversal — the scheduler and channel interfaces are the
+// designed seams, and their implementations carry their own
+// annotations.
+const hotPathName = "hotpath"
+
+var HotPath = &Pass{
+	Name: hotPathName,
+	Doc:  "//stripe:hotpath functions must be allocation-, lock- and blocking-free, transitively",
+	Run:  runHotPath,
+}
+
+// hotBannedPkgs are packages a hot path must never enter: formatting
+// and reflection allocate and are unbounded; sync primitives block.
+// sync/atomic is a different package and remains allowed.
+var hotBannedPkgs = map[string]string{
+	"fmt":     "formats and allocates",
+	"log":     "locks and formats",
+	"reflect": "reflection is unbounded and allocates",
+	"sync":    "lock/blocking primitive",
+}
+
+func runHotPath(prog *Program, pkgs []*Package) []Diagnostic {
+	var ds []Diagnostic
+	hot, escapes := hotSet(prog, pkgs)
+	for _, hf := range hot {
+		if hf.decl.Body == nil {
+			continue
+		}
+		ds = append(ds, checkHotBody(prog, hf)...)
+	}
+	// An escape hatch must say why it is one.
+	for _, hf := range escapes {
+		if annotationsOf(hf.decl).escapeWhy == "" {
+			ds = append(ds, Diagnostic{
+				Pos:  prog.Fset.Position(hf.decl.Pos()),
+				Pass: hotPathName,
+				Msg: fmt.Sprintf("%s: //stripe:allowescape needs a reason (reached via %s)",
+					funcName(hf.fn), hf.chain),
+			})
+		}
+	}
+	return ds
+}
+
+func checkHotBody(prog *Program, hf *hotFunc) []Diagnostic {
+	var ds []Diagnostic
+	info := hf.pkg.Info
+	report := func(n ast.Node, format string, args ...any) {
+		ds = append(ds, Diagnostic{
+			Pos:  prog.Fset.Position(n.Pos()),
+			Pass: hotPathName,
+			Msg:  fmt.Sprintf("%s (hot via %s): %s", funcName(hf.fn), hf.chain, fmt.Sprintf(format, args...)),
+		})
+	}
+	comms := selectCommOps(hf.decl.Body)
+	funs := callFuns(hf.decl.Body)
+	ast.Inspect(hf.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n, "closure allocation (func literal)")
+			return false // its body runs elsewhere; don't double-report
+		case *ast.SelectorExpr:
+			// A method value (x.M not immediately called) binds its
+			// receiver in a fresh closure on every evaluation.
+			if s, ok := info.Selections[n]; ok && s.Kind() == types.MethodVal && !funs[n] {
+				report(n, "allocation: method value %s binds its receiver in a closure; hoist it to a field or call it directly", n.Sel.Name)
+			}
+		case *ast.CallExpr:
+			checkHotCall(info, n, report)
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				report(n, "allocation: slice literal")
+			case *types.Map:
+				report(n, "allocation: map literal")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n, "allocation: address of composite literal")
+				}
+			} else if n.Op == token.ARROW && !comms[n] {
+				report(n, "blocking channel receive")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.Types[n.X].Type) {
+				report(n, "allocation: string concatenation")
+			}
+		case *ast.SendStmt:
+			if !comms[n] {
+				report(n, "blocking channel send")
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				report(n, "blocking select (no default case)")
+			}
+		case *ast.GoStmt:
+			report(n, "goroutine start allocates and defers work")
+		case *ast.RangeStmt:
+			if n.X != nil {
+				if t := info.Types[n.X].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						report(n, "blocking range over channel")
+					}
+				}
+			}
+		}
+		return true
+	})
+	return ds
+}
+
+func checkHotCall(info *types.Info, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	switch {
+	case isBuiltin(info, call, "make"):
+		report(call, "allocation: make")
+		return
+	case isBuiltin(info, call, "new"):
+		report(call, "allocation: new")
+		return
+	case isBuiltin(info, call, "append"):
+		report(call, "allocation: append may grow its backing array")
+		return
+	case isConversion(info, call):
+		to := info.Types[call].Type
+		var from types.Type
+		if len(call.Args) == 1 {
+			from = info.Types[call.Args[0]].Type
+		}
+		if allocatingConversion(from, to) {
+			report(call, "allocation: %s <-> string conversion copies", types.TypeString(to, nil))
+		}
+		return
+	}
+	callee := calleeOf(info, call)
+	if callee == nil {
+		return // func value / builtin handled above
+	}
+	if why, banned := hotBannedPkgs[pkgPathOf(callee)]; banned {
+		report(call, "calls %s.%s (%s)", pkgPathOf(callee), callee.Name(), why)
+	}
+}
+
+// allocatingConversion reports conversions that copy memory:
+// string <-> []byte and string <-> []rune.
+func allocatingConversion(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	return (isStringType(from) && isByteOrRuneSlice(to)) ||
+		(isByteOrRuneSlice(from) && isStringType(to))
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// callFuns collects the expressions in call position, so the method
+// value rule can tell x.M() (a call, fine) from x.M (a closure).
+func callFuns(body *ast.BlockStmt) map[ast.Expr]bool {
+	funs := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			funs[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+	return funs
+}
+
+// selectCommOps collects the channel operations that are select comm
+// clauses (or the receive expression inside one). They are judged by
+// the SelectStmt rule — a select with a default case polls, so its
+// sends and receives never block on their own.
+func selectCommOps(body *ast.BlockStmt) map[ast.Node]bool {
+	ops := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			ops[cc.Comm] = true
+			switch s := cc.Comm.(type) {
+			case *ast.ExprStmt:
+				ops[ast.Unparen(s.X)] = true
+			case *ast.AssignStmt:
+				for _, r := range s.Rhs {
+					ops[ast.Unparen(r)] = true
+				}
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

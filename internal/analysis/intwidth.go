@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// IntWidthScope names the packages whose arithmetic the intwidth pass
+// polices when run through the stripevet CLI: the deficit/quantum
+// scheduler state, the credit ledgers, and the wire-format codecs —
+// everywhere a silent truncation or sign flip would falsify a theorem
+// (a deficit is signed by construction; wire counters are unsigned by
+// construction; the conversions between them are exactly where bugs
+// hide).
+var IntWidthScope = []string{
+	"internal/sched",
+	"internal/flowcontrol",
+	"internal/packet",
+}
+
+// IntWidth flags value-changing integer conversions — narrowing width,
+// or crossing signedness in a direction that can wrap — unless the
+// conversion line (or the line immediately above it) carries a comment
+// justifying it. Conversions of constants representable in the target
+// type are always safe and never flagged. int, uint and uintptr are
+// treated as 64-bit, the module's deployment word size.
+const intWidthName = "intwidth"
+
+var IntWidth = &Pass{
+	Name: intWidthName,
+	Doc:  "deficit/quantum/byte-count conversions must not narrow or change sign without a comment",
+	InScope: func(path string) bool {
+		for _, s := range IntWidthScope {
+			if strings.HasSuffix(path, s) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runIntWidth,
+}
+
+func runIntWidth(prog *Program, pkgs []*Package) []Diagnostic {
+	var ds []Diagnostic
+	for _, pkg := range pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			commented := commentedLines(prog.Fset, file)
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isConversion(info, call) || len(call.Args) != 1 {
+					return true
+				}
+				to := info.Types[call].Type
+				fromTV := info.Types[call.Args[0]]
+				lossy, why := lossyIntConversion(fromTV, to)
+				if !lossy {
+					return true
+				}
+				line := prog.Fset.Position(call.Pos()).Line
+				if commented[line] || commented[line-1] {
+					return true
+				}
+				ds = append(ds, Diagnostic{
+					Pos:  prog.Fset.Position(call.Pos()),
+					Pass: intWidthName,
+					Msg: fmt.Sprintf("conversion %s -> %s %s; add a comment justifying it on this or the preceding line",
+						types.TypeString(fromTV.Type, types.RelativeTo(pkg.Types)),
+						types.TypeString(to, types.RelativeTo(pkg.Types)), why),
+				})
+				return true
+			})
+		}
+	}
+	return ds
+}
+
+// lossyIntConversion reports whether converting from -> to is an
+// integer conversion that can change the value, and why.
+func lossyIntConversion(from types.TypeAndValue, to types.Type) (bool, string) {
+	if from.Type == nil || to == nil {
+		return false, ""
+	}
+	fb := basicInt(from.Type)
+	tb := basicInt(to)
+	if fb == nil || tb == nil {
+		return false, ""
+	}
+	// A constant representable in the target cannot lose anything.
+	if from.Value != nil && representableIn(from.Value, tb) {
+		return false, ""
+	}
+	fw, fu := intWidth(fb), fb.Info()&types.IsUnsigned != 0
+	tw, tu := intWidth(tb), tb.Info()&types.IsUnsigned != 0
+	switch {
+	case fu == tu && tw < fw:
+		return true, fmt.Sprintf("narrows %d -> %d bits", fw, tw)
+	case !fu && tu:
+		return true, "loses sign (negative values wrap)"
+	case fu && !tu && tw <= fw:
+		return true, fmt.Sprintf("can overflow signed %d-bit range", tw)
+	}
+	return false, ""
+}
+
+func basicInt(t types.Type) *types.Basic {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return b
+}
+
+// intWidth returns the width in bits, with int/uint/uintptr pinned to
+// the module's 64-bit deployment word.
+func intWidth(b *types.Basic) int {
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	default:
+		return 64
+	}
+}
+
+func representableIn(v constant.Value, b *types.Basic) bool {
+	if v.Kind() != constant.Int {
+		return false
+	}
+	return constant.Compare(v, token.GEQ, minOf(b)) && constant.Compare(v, token.LEQ, maxOf(b))
+}
+
+func minOf(b *types.Basic) constant.Value {
+	if b.Info()&types.IsUnsigned != 0 {
+		return constant.MakeInt64(0)
+	}
+	w := intWidth(b)
+	return constant.Shift(constant.MakeInt64(-1), token.SHL, uint(w-1))
+}
+
+func maxOf(b *types.Basic) constant.Value {
+	w := intWidth(b)
+	if b.Info()&types.IsUnsigned == 0 {
+		w--
+	}
+	one := constant.MakeInt64(1)
+	return constant.BinaryOp(constant.Shift(one, token.SHL, uint(w)), token.SUB, one)
+}
+
+// commentedLines marks every source line covered by (or ending) a
+// comment in the file, so a conversion can be justified by a trailing
+// comment or one on the line above.
+func commentedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			start := fset.Position(c.Pos()).Line
+			end := fset.Position(c.End()).Line
+			for l := start; l <= end; l++ {
+				lines[l] = true
+			}
+		}
+	}
+	return lines
+}

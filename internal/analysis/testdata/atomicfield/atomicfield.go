@@ -1,0 +1,70 @@
+// Package atomicfield is the stripevet self-test corpus for the
+// atomicfield pass.
+package atomicfield
+
+import "sync/atomic"
+
+// skewed puts a 64-bit atomic field after a uint32: fine on 64-bit
+// targets, a runtime fault on 32-bit ones.
+type skewed struct {
+	flag uint32
+	hits int64 // want "not 8-byte aligned"
+}
+
+func bump(s *skewed) {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func loadOK(s *skewed) int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func raceRead(s *skewed) int64 {
+	return s.hits // want `non-atomic access of field atomicfield\.hits`
+}
+
+func raceWrite(s *skewed) {
+	s.hits = 0 // want `non-atomic access of field atomicfield\.hits`
+}
+
+// aligned keeps its 64-bit atomic first: atomically accessed
+// everywhere and alignment-safe, so fully silent.
+type aligned struct {
+	total uint64
+	flag  uint32
+}
+
+func add(a *aligned, n uint64) {
+	atomic.AddUint64(&a.total, n)
+}
+
+func read(a *aligned) uint64 {
+	return atomic.LoadUint64(&a.total)
+}
+
+// typed uses the typed atomics: access-safe and alignment-safe by
+// construction, but copying one copies the value non-atomically.
+type typed struct {
+	n atomic.Int64
+}
+
+func observe(t *typed) {
+	t.n.Add(1)
+}
+
+func snapshot(t *typed) atomic.Int64 {
+	return t.n // want "copied by value"
+}
+
+func addrOK(t *typed) *atomic.Int64 {
+	return &t.n
+}
+
+// plain is never touched by sync/atomic; ordinary access stays silent.
+type plain struct {
+	count int64
+}
+
+func inc(p *plain) {
+	p.count++
+}

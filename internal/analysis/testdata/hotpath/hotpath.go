@@ -1,0 +1,132 @@
+// Package hotpath is the stripevet self-test corpus for the hotpath
+// pass. Lines carrying a `// want "regex"` comment must produce a
+// matching finding; every other line must stay silent.
+package hotpath
+
+import (
+	"fmt"
+	"sync"
+)
+
+type ring struct {
+	mu  sync.Mutex
+	buf [8]int64
+	n   int
+}
+
+//stripe:hotpath
+func HotAlloc(r *ring) {
+	p := new(ring) // want "allocation: new"
+	_ = p
+	s := make([]int, 4) // want "allocation: make"
+	_ = s
+	b := []int64{1, 2} // want "allocation: slice literal"
+	_ = b
+	m := map[int]int{} // want "allocation: map literal"
+	_ = m
+	q := &ring{} // want "allocation: address of composite literal"
+	_ = q
+}
+
+//stripe:hotpath
+func HotCalls(r *ring, name string) {
+	fmt.Println(r.n) // want "calls fmt.Println"
+	r.mu.Lock()      // want `calls sync\.Lock`
+	r.mu.Unlock()    // want `calls sync\.Unlock`
+	_ = []byte(name) // want "conversion copies"
+	_ = name + "!"   // want "string concatenation"
+}
+
+//stripe:hotpath
+func HotBlocking(ch chan int) {
+	ch <- 1  // want "blocking channel send"
+	<-ch     // want "blocking channel receive"
+	select { // want "blocking select"
+	case v := <-ch:
+		_ = v
+	}
+	go func() {}() // want "goroutine start" "closure allocation"
+	for range ch { // want "blocking range over channel"
+	}
+}
+
+// HotPolling is clean: a select with a default case polls, and the
+// channel operations inside its comm clauses never block on their own.
+//
+//stripe:hotpath
+func HotPolling(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return -1
+	}
+}
+
+func (r *ring) full() bool { return r.n == len(r.buf) }
+
+// HotMethodValue evaluates r.full as a value, which binds the receiver
+// in a fresh closure per evaluation; calling it directly is free.
+//
+//stripe:hotpath
+func HotMethodValue(r *ring, probe func(func() bool)) {
+	probe(r.full) // want "method value full binds its receiver"
+	_ = r.full()
+}
+
+// sink is a dynamic seam: interface calls end hot traversal, so the
+// allocation inside any implementation is that implementation's
+// responsibility, not this caller's.
+type sink interface{ Push(int) }
+
+//stripe:hotpath
+func HotDynamic(s sink) {
+	s.Push(1)
+}
+
+// HotTransitive is clean itself; the violation lives two static calls
+// down and must be reported there with the chain in the message.
+//
+//stripe:hotpath
+func HotTransitive(r *ring) {
+	middle(r)
+}
+
+func middle(r *ring) {
+	leaf(r)
+}
+
+func leaf(r *ring) {
+	_ = new(int) // want `HotTransitive -> middle -> leaf.*allocation: new`
+}
+
+// coldReset is an amortized escape hatch with a reason: traversal must
+// stop here and the allocation below must not be reported.
+//
+//stripe:allowescape reset path, runs once per epoch change
+func coldReset(r *ring) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_ = make([]int64, 64)
+}
+
+// badEscape is a hatch without a justification, which is itself a
+// finding once it is reached from a hot root.
+//
+//stripe:allowescape
+func badEscape() { // want "allowescape needs a reason"
+	_ = new(ring)
+}
+
+//stripe:hotpath
+func HotWithEscapes(r *ring) {
+	coldReset(r)
+	badEscape()
+}
+
+// PlainAllocator is not annotated and not reachable from a hot root:
+// anything goes.
+func PlainAllocator() *ring {
+	r := &ring{n: len(fmt.Sprint("x"))}
+	return r
+}

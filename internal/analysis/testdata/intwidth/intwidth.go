@@ -1,0 +1,42 @@
+// Package intwidth is the stripevet self-test corpus for the intwidth
+// pass. Expectations use the offset form (want+N) because a want
+// comment on the conversion's own line would itself count as the
+// justifying comment the pass looks for.
+package intwidth
+
+// want+2 "narrows 64 -> 32 bits"
+func Narrow(x uint64) uint32 {
+	return uint32(x)
+}
+
+// want+2 "loses sign"
+func Sign(deficit int64) uint64 {
+	return uint64(deficit)
+}
+
+// want+2 "can overflow signed 64-bit range"
+func Overflow(wire uint64) int64 {
+	return int64(wire)
+}
+
+func WideningOK(c uint32) uint64 {
+	return uint64(c)
+}
+
+func SignedWideningOK(d int32) int64 {
+	return int64(d)
+}
+
+func ConstOK() uint8 {
+	const quantum = 200
+	return uint8(quantum)
+}
+
+func JustifiedOK(deficit int64) uint64 {
+	// Deficit is non-negative after Account: bounded below by zero.
+	return uint64(deficit)
+}
+
+func TrailingJustifiedOK(sent uint64) int64 {
+	return int64(sent) // Sent wraps mod 2^63 on the wire; reconciler handles it.
+}

@@ -120,6 +120,10 @@ type Resequencer struct {
 	pending    []packet.MarkerBlock
 	pendingHas []bool
 
+	// skip is the skipRule method value, bound once here so the
+	// per-delivery scan does not allocate a fresh closure for it.
+	skip func(c int) bool
+
 	// Sequence state (ModeSequence).
 	nextSeq uint64
 
@@ -215,6 +219,7 @@ func NewResequencer(cfg ResequencerConfig) (*Resequencer, error) {
 		staleDeficit: make([]int64, n),
 		staleHas:     make([]bool, n),
 	}
+	rr.skip = rr.skipRule
 	if cs != nil {
 		rr.csInit = cs.Snapshot().Clone()
 	}
@@ -264,6 +269,8 @@ func (r *Resequencer) Buffered() int {
 
 // Arrive accepts a packet physically received on channel c. Packets are
 // buffered; ordering decisions happen in Next.
+//
+//stripe:hotpath
 func (r *Resequencer) Arrive(c int, p *packet.Packet) {
 	r.arrive(c, p)
 	if r.obs != nil {
@@ -451,6 +458,8 @@ func (r *Resequencer) WaitingOn() int {
 
 // Next returns the next packet in delivery order, or false if the
 // receiver must wait for more arrivals.
+//
+//stripe:hotpath
 func (r *Resequencer) Next() (*packet.Packet, bool) {
 	p, ok := r.next()
 	if r.obs != nil {
@@ -582,6 +591,13 @@ func (r *Resequencer) nextCausal() (*packet.Packet, bool) {
 	}
 }
 
+// skipRule is the r_c > G rule. It is invoked through the skip field
+// (a method value bound once at construction — binding it at the
+// SelectFor call site would allocate a closure per scan), so hot
+// traversal cannot see through the indirection; it carries its own
+// annotation.
+//
+//stripe:hotpath
 func (r *Resequencer) skipRule(c int) bool {
 	if r.marked[c] && r.expect[c] > r.s.Round() {
 		r.stats.Skips++
@@ -618,7 +634,7 @@ func (r *Resequencer) maybeFastForward() {
 func (r *Resequencer) nextLogical() (*packet.Packet, bool) {
 	for {
 		r.maybeFastForward()
-		c := r.s.SelectFor(r.skipRule)
+		c := r.s.SelectFor(r.skip)
 		if r.pendingHas[c] {
 			// An eagerly drained marker staged for this channel: the scan
 			// has now consumed everything that preceded it, which is the
@@ -762,6 +778,8 @@ func (r *Resequencer) clearStale() {
 // markers: the receiver restarts its simulation at the earliest round
 // any channel expects, with every channel's deficit and expected round
 // taken from its marker, and lets the ordinary skip rule do the rest.
+//
+//stripe:allowescape cold self-stabilization path: fires only after healGap-stale markers on every channel, and restoring scheduler state allocates
 func (r *Resequencer) selfHeal() {
 	min := r.staleRound[0]
 	for _, v := range r.staleRound[1:] {
@@ -861,6 +879,7 @@ scan:
 	}
 }
 
+//stripe:allowescape reset path: runs once per crash-recovery epoch change, and flushing buffers and restoring scheduler state may allocate
 func (r *Resequencer) applyReset(c int, p *packet.Packet) {
 	e := resetEpoch(p)
 	if e <= r.epoch {
@@ -958,6 +977,7 @@ type pktFIFO struct {
 	dataBytes int64
 }
 
+//stripe:allowescape buffer growth is amortized O(1): append doubles capacity, and the backing array is reused after drain
 func (f *pktFIFO) push(p *packet.Packet) {
 	if p.Kind == packet.Data {
 		f.dataBytes += int64(len(p.Payload))

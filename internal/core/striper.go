@@ -233,6 +233,8 @@ func (st *Striper) EmitMarkers() {
 // the current channel is mid-service its quantum has already been
 // granted, so the pre-quantum convention subtracts it back; the
 // receiver's marker handling applies the mirror-image adjustment.
+//
+//stripe:allowescape marker batch: control-plane work amortized over a marker interval (policy.Every rounds), and marker packets must allocate
 func (st *Striper) emitBatch() {
 	for c := range st.out {
 		d := st.rb.Deficit(c)
@@ -262,6 +264,8 @@ func (st *Striper) emitBatch() {
 // obsFlushEvery packets and an idle one by at most a marker interval.
 // Flushing the round and byte counters together also keeps the derived
 // fairness gauge consistent for the flushed prefix.
+//
+//stripe:allowescape publishes batched counters and runs invariant checks (which lock) at most once per obsFlushEvery packets or marker interval
 func (st *Striper) SyncObs() {
 	if st.obs == nil {
 		return
@@ -283,6 +287,8 @@ func (st *Striper) SyncObs() {
 // Send stripes one data packet. The packet is transmitted verbatim
 // unless AddSeq was configured. ErrGated means flow control vetoed the
 // transmission; retry the same packet later.
+//
+//stripe:hotpath
 func (st *Striper) Send(p *packet.Packet) error {
 	st.maybeEmitMarkers()
 	c := st.s.Select()

@@ -73,6 +73,8 @@ func NewGate(n int, w int64) (*Gate, error) {
 
 // Admit reports whether a packet of the given size fits channel c's
 // remaining credit. Out-of-range channels admit nothing.
+//
+//stripe:hotpath
 func (g *Gate) Admit(c int, size int) bool {
 	if c < 0 || c >= len(g.grant) || size < 0 {
 		return false
@@ -83,6 +85,8 @@ func (g *Gate) Admit(c int, size int) bool {
 // Consume charges a transmitted packet against channel c's credit.
 // Out-of-range channels and negative sizes are ignored: the gate never
 // lets a bad caller corrupt the credit table.
+//
+//stripe:hotpath
 func (g *Gate) Consume(c int, size int) {
 	if c < 0 || c >= len(g.grant) || size < 0 {
 		return
@@ -125,6 +129,8 @@ func (g *Gate) ApplyCredit(p *packet.Packet) error {
 	if err != nil {
 		return err
 	}
+	// Grant is validated below 2^63 by ApplyGrant, which rejects the
+	// negative values a wrapped conversion would produce.
 	return g.ApplyGrant(int(cb.Channel), int64(cb.Grant))
 }
 
@@ -252,8 +258,8 @@ func (m *Manager) CreditPackets() []*packet.Packet {
 	out := make([]*packet.Packet, m.n)
 	for c := 0; c < m.n; c++ {
 		out[c] = packet.NewCredit(packet.CreditBlock{
-			Channel: uint32(c),
-			Grant:   uint64(m.GrantFor(c)),
+			Channel: uint32(c),             // c ranges over [0, m.n): non-negative, small
+			Grant:   uint64(m.GrantFor(c)), // grants are cumulative byte counts, >= 0 by construction
 		})
 	}
 	return out

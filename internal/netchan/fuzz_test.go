@@ -40,6 +40,13 @@ func FuzzDecodeMarker(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0xff}, packet.MarkerWireLen))
 	m := packet.MarkerBlock{Channel: 3, Round: 99, Deficit: -500, Credits: 1 << 40}
 	f.Add(m.Encode(nil))
+	// Sent edge values: the reconcile path converts Sent to int64, so
+	// seed zero, the signed wrap point (1<<63, negative after the cast),
+	// and the maximum, where off-by-one bugs and sign flips live.
+	for _, sent := range []uint64{0, 1 << 63, ^uint64(0)} {
+		edge := packet.MarkerBlock{Channel: 1, Round: 2, Sent: sent}
+		f.Add(edge.Encode(nil))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := packet.DecodeMarker(data)
 		if err != nil {

@@ -44,6 +44,8 @@ func (h *Histogram) boundsOrDefault() []int64 {
 func (h *Histogram) setBounds(b []int64) { h.bounds = b }
 
 // Observe records one value.
+//
+//stripe:hotpath
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return

@@ -178,6 +178,8 @@ func (t *Tracer) lookup(key uint64) *slot {
 // onGated stamps the stripe stage for a packet whose transmission flow
 // control just vetoed: the stripe clock starts at the first attempt, so
 // sent − striped measures the credit stall the packet experienced.
+//
+//stripe:hotpath
 func (t *Tracer) onGated(key uint64) {
 	if t == nil || !t.sampled(key) {
 		return
@@ -190,6 +192,8 @@ func (t *Tracer) onGated(key uint64) {
 
 // onSend stamps the channel-send stage (and the stripe stage, when the
 // packet was never gated) after a successful transmit on channel ch.
+//
+//stripe:hotpath
 func (t *Tracer) onSend(key uint64, ch int) {
 	if t == nil || !t.sampled(key) {
 		return
@@ -204,6 +208,8 @@ func (t *Tracer) onSend(key uint64, ch int) {
 }
 
 // onArrive stamps the channel-receive stage on channel ch.
+//
+//stripe:hotpath
 func (t *Tracer) onArrive(key uint64, ch int) {
 	if t == nil || !t.sampled(key) {
 		return
@@ -221,6 +227,8 @@ func (t *Tracer) onArrive(key uint64, ch int) {
 
 // onBuffered stamps the buffer stage: the packet entered a resequencer
 // buffer to await its turn in the delivery order.
+//
+//stripe:hotpath
 func (t *Tracer) onBuffered(key uint64) {
 	if t == nil || !t.sampled(key) {
 		return
@@ -233,6 +241,8 @@ func (t *Tracer) onBuffered(key uint64) {
 // onDeliver completes the lifecycle: reads the stamps, folds the
 // latencies into the histograms, retains the record, and frees the
 // slot.
+//
+//stripe:hotpath
 func (t *Tracer) onDeliver(key uint64, displacement int64) {
 	if t == nil || !t.sampled(key) {
 		return
@@ -276,6 +286,7 @@ func (t *Tracer) onDeliver(key uint64, displacement int64) {
 	t.retain(rec)
 }
 
+//stripe:allowescape mutex-guarded retention ring, reached only for the 1-in-SampleEvery sampled lifecycles that complete
 func (t *Tracer) retain(rec PacketTrace) {
 	if cap(t.recent) == 0 {
 		return

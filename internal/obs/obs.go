@@ -140,6 +140,8 @@ func (c *Collector) AddSink(s Sink) {
 }
 
 // emit counts an event and fans it out to the attached sinks.
+//
+//stripe:hotpath
 func (c *Collector) emit(k Kind, channel int, round uint64, value int64) {
 	c.eventCounts[k].Add(1)
 	sinks := c.sinks.Load()
@@ -163,6 +165,8 @@ func (c *Collector) inRange(channel int) bool {
 // prefer SyncStriped at a batch boundary; OnStriped is the per-packet
 // convenience form. Do not mix the two on one collector: SyncStriped
 // stores absolute totals and would clobber OnStriped's sums.
+//
+//stripe:hotpath
 func (c *Collector) OnStriped(channel, size int) {
 	if c == nil || !c.inRange(channel) {
 		return
@@ -179,6 +183,8 @@ func (c *Collector) OnStriped(channel, size int) {
 // enabling metrics costs no per-packet atomics on the transmit path.
 // Totals must be monotone across calls to keep Prometheus counter
 // semantics.
+//
+//stripe:hotpath
 func (c *Collector) SyncStriped(channel int, pkts, bytes int64) {
 	if c == nil || !c.inRange(channel) {
 		return
@@ -300,6 +306,8 @@ func (c *Collector) OnReset(epoch uint64) {
 // OnDelivered records one data packet delivered in order off channel.
 // displacement is the reordering lateness in packets (0 = in order):
 // how far behind the highest-ID delivery so far this packet arrived.
+//
+//stripe:hotpath
 func (c *Collector) OnDelivered(channel, size int, displacement int64) {
 	if c == nil || !c.inRange(channel) {
 		return
@@ -312,6 +320,8 @@ func (c *Collector) OnDelivered(channel, size int, displacement int64) {
 
 // OnMarkerConsumed records one structurally valid marker consumed from
 // channel.
+//
+//stripe:hotpath
 func (c *Collector) OnMarkerConsumed(channel int) {
 	if c == nil || !c.inRange(channel) {
 		return
@@ -381,6 +391,8 @@ func (c *Collector) OnOldEpochDrops(n int64) {
 
 // SetBuffered updates the resequencer buffer occupancy gauge and its
 // high-water mark.
+//
+//stripe:hotpath
 func (c *Collector) SetBuffered(n int64) {
 	if c == nil {
 		return

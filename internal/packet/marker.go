@@ -83,7 +83,7 @@ func (m *MarkerBlock) Encode(dst []byte) []byte {
 	copy(b[0:4], markerMagic)
 	binary.BigEndian.PutUint32(b[4:8], m.Channel)
 	binary.BigEndian.PutUint64(b[8:16], m.Round)
-	binary.BigEndian.PutUint64(b[16:24], uint64(m.Deficit))
+	binary.BigEndian.PutUint64(b[16:24], uint64(m.Deficit)) // two's-complement wire form; DecodeMarker undoes it exactly
 	binary.BigEndian.PutUint64(b[24:32], m.Credits)
 	binary.BigEndian.PutUint64(b[32:40], m.Sent)
 	binary.BigEndian.PutUint64(b[40:48], m.RNG)
@@ -105,7 +105,7 @@ func DecodeMarker(b []byte) (MarkerBlock, error) {
 	}
 	m.Channel = binary.BigEndian.Uint32(b[4:8])
 	m.Round = binary.BigEndian.Uint64(b[8:16])
-	m.Deficit = int64(binary.BigEndian.Uint64(b[16:24]))
+	m.Deficit = int64(binary.BigEndian.Uint64(b[16:24])) // inverse of Encode's two's-complement form; a deficit is signed
 	m.Credits = binary.BigEndian.Uint64(b[24:32])
 	m.Sent = binary.BigEndian.Uint64(b[32:40])
 	m.RNG = binary.BigEndian.Uint64(b[40:48])
@@ -118,6 +118,8 @@ func NewMarker(m MarkerBlock) *Packet {
 }
 
 // MarkerOf extracts the marker block from a marker packet.
+//
+//stripe:allowescape error construction only on mis-kinded packets, and the magic-string check is compiler-elided; the valid-marker path is allocation-free
 func MarkerOf(p *Packet) (MarkerBlock, error) {
 	if p.Kind != Marker {
 		return MarkerBlock{}, fmt.Errorf("packet: MarkerOf on %s packet", p.Kind)

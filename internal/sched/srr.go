@@ -113,11 +113,15 @@ func (s *SRR) costOf(size int) int64 {
 }
 
 // Select implements Scheduler; it is SelectFor with no skip rule.
+//
+//stripe:hotpath
 func (s *SRR) Select() int { return s.SelectFor(nil) }
 
 // SelectFor implements RoundBased. It walks the round-robin scan until
 // it finds a channel whose freshly credited deficit counter permits
 // service, consulting skip (if non-nil) before crediting each candidate.
+//
+//stripe:hotpath
 func (s *SRR) SelectFor(skip func(c int) bool) int {
 	for {
 		if !s.began {
@@ -139,6 +143,8 @@ func (s *SRR) SelectFor(skip func(c int) bool) int {
 
 // Account implements Scheduler. It must follow a Select (or SelectFor)
 // that returned the channel the packet was sent on.
+//
+//stripe:hotpath
 func (s *SRR) Account(size int) {
 	if !s.began {
 		// Select was skipped; begin service implicitly so that

@@ -2,8 +2,11 @@ package stripe
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"stripe/internal/netchan"
 )
 
 // TestDefaultMaxBuffered pins the FCVC-derived resequencer cap formula:
@@ -180,5 +183,123 @@ func TestSessionLifecycleTracing(t *testing.T) {
 	}
 	if !strings.Contains(d.Trigger.Kind.String(), "invariant") {
 		t.Fatalf("dump trigger: %+v", d.Trigger)
+	}
+}
+
+// TestTracedRemotePairDefaultsAddSeq pins the tracing ergonomics rule:
+// configuring a lifecycle tracer implies AddSeq. A tracer keys packets
+// by their sequence identity, and without AddSeq that identity is
+// in-process only — it never survives an encoded channel, so every
+// remote lifecycle would be torn. Here the pair crosses a real
+// netchan encode/decode boundary (only wire-visible fields survive the
+// hop) and cfg.AddSeq is never set; completed lifecycles prove the
+// sequence identity made the trip.
+func TestTracedRemotePairDefaultsAddSeq(t *testing.T) {
+	const nch = 2
+	colA := NewNamedCollector("rma", nch)
+	colB := NewNamedCollector("rmb", nch)
+	tracer := NewTracer(TracerConfig{Sample: 1})
+	colA.SetTracer(tracer)
+	colB.SetTracer(tracer)
+
+	mkChans := func() ([]*LocalChannel, []ChannelSender) {
+		chans := make([]*LocalChannel, nch)
+		senders := make([]ChannelSender, nch)
+		for i := range chans {
+			chans[i] = NewLocalChannel(LocalChannelConfig{Seed: int64(i)})
+			senders[i] = chans[i]
+		}
+		return chans, senders
+	}
+	abChans, abSenders := mkChans()
+	baChans, baSenders := mkChans()
+
+	cfg := SessionConfig{
+		Config: Config{
+			Quanta:    UniformQuanta(nch, 1500),
+			Markers:   MarkerPolicy{Every: 2, Position: 0},
+			Collector: colA,
+			// AddSeq deliberately left false: the tracer must turn it on.
+		},
+		CreditWindow:   4096,
+		MarkerInterval: time.Millisecond,
+	}
+	bcfg := cfg
+	bcfg.Collector = colB
+
+	a, err := NewSession(abSenders, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSession(baSenders, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		a.Close()
+		b.Close()
+		for _, ch := range append(abChans, baChans...) {
+			ch.Close()
+		}
+	}()
+
+	// The pump is the wire: every packet is flattened to its channel
+	// framing and re-parsed, so nothing in-process (pointer identity,
+	// unexported striper state) crosses to the peer.
+	var seqFrames atomic.Int64
+	pump := func(chans []*LocalChannel, dst *Session) {
+		for i, ch := range chans {
+			go func(i int, ch *LocalChannel) {
+				for p := range ch.Out() {
+					q, err := netchan.DecodeFrame(netchan.EncodeFrame(nil, p))
+					if err != nil {
+						t.Errorf("frame did not survive the wire: %v", err)
+						continue
+					}
+					if q.HasSeq {
+						seqFrames.Add(1)
+					}
+					dst.Arrive(i, q)
+				}
+			}(i, ch)
+		}
+	}
+	pump(abChans, b)
+	pump(baChans, a)
+
+	const n = 100
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := a.SendBytes(make([]byte, 400)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	got := 0
+	for got < n {
+		p := b.Recv()
+		if p == nil {
+			t.Fatal("session closed early")
+		}
+		if p.Kind == KindData {
+			got++
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	if seqFrames.Load() == 0 {
+		t.Fatal("no frame carried an explicit sequence number: tracer did not imply AddSeq")
+	}
+	ts := tracer.Snapshot()
+	if ts.Tracked == 0 {
+		t.Fatalf("no completed remote lifecycles: %+v", ts)
+	}
+	if ts.EndToEnd.Count == 0 {
+		t.Fatalf("no end-to-end latency observations: %+v", ts)
 	}
 }

@@ -102,10 +102,19 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 	}
 	s.rs = rs
 
+	// A lifecycle tracer keys packets by the sequence identity they
+	// carry; without AddSeq that identity is in-process only and never
+	// survives an encoded channel, so every remote lifecycle would be
+	// torn. Configuring a tracer therefore implies explicit sequence
+	// numbers.
+	addSeq := cfg.AddSeq
+	if !addSeq && cfg.Collector.Tracer() != nil {
+		addSeq = true
+	}
 	scfg := core.StriperConfig{
 		Channels: channels,
 		Markers:  cfg.markers(),
-		AddSeq:   cfg.AddSeq,
+		AddSeq:   addSeq,
 		Obs:      cfg.Collector,
 	}
 	scfg.Sched, err = cfg.sched()
