@@ -1,4 +1,4 @@
-package stripe
+package stripe_test
 
 // One benchmark per table/figure of the paper's evaluation, as required
 // by DESIGN.md's experiment index. Each runs the corresponding harness
@@ -8,9 +8,15 @@ package stripe
 // The micro-benchmarks at the bottom quantify the paper's "only a few
 // extra instructions" claim for SRR and the end-to-end software cost of
 // the protocol.
+//
+// This file lives in the external test package: the harness package
+// imports stripe (its flap experiment drives the public session API),
+// so an in-package test importing harness would be an import cycle.
 
 import (
 	"testing"
+
+	"stripe"
 
 	"stripe/internal/channel"
 	"stripe/internal/core"
@@ -157,14 +163,14 @@ func BenchmarkStripeReseqPipeline(b *testing.B) {
 // BenchmarkSenderPublicAPI measures the concurrency-safe public path.
 func BenchmarkSenderPublicAPI(b *testing.B) {
 	g := channel.NewGroup(4, channel.Impairments{})
-	tx, err := NewSender(g.Senders(), Config{Quanta: UniformQuanta(4, 1500)})
+	tx, err := stripe.NewSender(g.Senders(), stripe.Config{Quanta: stripe.UniformQuanta(4, 1500)})
 	if err != nil {
 		b.Fatal(err)
 	}
 	payload := make([]byte, 1000)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := tx.Send(Data(payload)); err != nil {
+		if err := tx.Send(stripe.Data(payload)); err != nil {
 			b.Fatal(err)
 		}
 		// Keep the queues drained so memory stays flat.

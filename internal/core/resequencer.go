@@ -51,6 +51,12 @@ type ResequencerConfig struct {
 	// (in any mode). The flow controller uses it to read piggybacked
 	// credits.
 	OnMarker func(ch int, m packet.MarkerBlock)
+	// OnMembership, when non-nil, observes membership transitions the
+	// receiver applies: joined=true when channel c is (re)admitted,
+	// false when its retirement completes. Sessions use it to mirror the
+	// peer's membership onto their own transmit side and to recompute
+	// derived sizing (buffer caps) for the new live set.
+	OnMembership func(c int, joined bool)
 	// SelfHealGap tunes the self-stabilization detector: a marker counts
 	// as evidence of state corruption only when it is stale by more than
 	// this many rounds. Legitimate staleness (markers buffered behind
@@ -91,6 +97,11 @@ type ResequencerStats struct {
 	EagerMarkers   int64 // markers consumed eagerly at arrival (no data precedes them)
 	Overflows      int64 // buffer-cap overflow escalations
 	OverflowDrops  int64 // arrivals discarded at the hard buffer cap
+	MemberJoins    int64 // channels (re)admitted to the live set
+	MemberDrains   int64 // channel retirements completed
+	MemberLost     int64 // buffered data packets declared lost at retirement
+	MemberDrops    int64 // arrivals discarded on removed channels
+	BadMembers     int64 // membership announcements dropped as corrupt
 }
 
 // Resequencer is the receiver engine. Drive it by pushing packets from
@@ -164,6 +175,26 @@ type Resequencer struct {
 	staleHas     []bool
 	staleCount   int
 	healGap      uint64 // 0 = disabled
+
+	// Dynamic membership (receive side). A channel leaves in two steps:
+	// draining (departure announced or observed, buffered packets still
+	// being delivered in order) then removed (buffer empty, slot disabled
+	// in the simulation, further arrivals on it dropped). The universe is
+	// never renumbered, preserving condition C2.
+	mem     sched.Membership // non-nil when the simulated scheduler supports it
+	leaving []bool           // draining: out of the live set, buffer not yet empty
+	left    []bool           // removed
+	// delimited marks channels whose data stream is known complete: a
+	// membership block arrived on the channel itself while excluding it,
+	// and per-channel FIFO puts that block after every packet the sender
+	// transmitted before retiring the slot. A draining delimited channel
+	// retires the moment its buffer empties without losing anything that
+	// was in flight; an undelimited one retires only when the delivery
+	// discipline actually blocks on it (or is locally declared dead).
+	delimited    []bool
+	leavingN     int
+	memberSeq    uint64 // last applied announcement sequence number
+	onMembership func(c int, joined bool)
 }
 
 // NewResequencer validates the configuration and returns a receiver.
@@ -218,7 +249,12 @@ func NewResequencer(cfg ResequencerConfig) (*Resequencer, error) {
 		staleRound:   make([]uint64, n),
 		staleDeficit: make([]int64, n),
 		staleHas:     make([]bool, n),
+		leaving:      make([]bool, n),
+		left:         make([]bool, n),
+		delimited:    make([]bool, n),
+		onMembership: cfg.OnMembership,
 	}
+	rr.mem, _ = cfg.Sched.(sched.Membership)
 	rr.skip = rr.skipRule
 	if cs != nil {
 		rr.csInit = cs.Snapshot().Clone()
@@ -301,6 +337,54 @@ func (r *Resequencer) arrive(c int, p *packet.Packet) {
 		} else {
 			r.stats.OldEpochDrops++
 			r.obs.OnOldEpochDrops(1)
+		}
+		return
+	}
+	if p.Kind == packet.Member {
+		// Membership announcements apply eagerly: they are full-bitmap and
+		// sequenced, so applying one out of stream order is harmless, and
+		// a draining channel keeps delivering until its buffer empties
+		// regardless of when the announcement was seen.
+		if m, err := packet.MemberOf(p); err == nil {
+			r.applyMember(m)
+			if int(m.N) == r.n && !m.ActiveChannel(c) {
+				// The block arrived on a channel it excludes: it is the
+				// departure's FIFO delimiter (or a later probe), so every
+				// packet the sender put on c before retiring the slot has
+				// already arrived. A draining c may now retire as soon as
+				// its buffer drains, losing nothing in flight.
+				r.delimited[c] = true
+				if r.leaving[c] && r.bufs[c].len() == 0 {
+					r.retire(c)
+				}
+			}
+		} else {
+			r.stats.BadMembers++
+		}
+		return
+	}
+	if r.left[c] {
+		// Removed slot. Data is dropped (the arrival accounting above
+		// still credits it back to the sender); markers are consumed for
+		// their piggybacked credits only, since the slot has no
+		// simulation state left to synchronize; resets must still apply
+		// so a rejoining channel cannot wedge epoch recovery.
+		switch p.Kind {
+		case packet.Data:
+			r.stats.MemberDrops++
+		case packet.Marker:
+			if m, err := packet.MarkerOf(p); err == nil {
+				r.stats.Markers++
+				r.obs.OnMarkerConsumed(c)
+				if r.onMarker != nil {
+					r.onMarker(c, m)
+				}
+			} else {
+				r.stats.BadMarkers++
+				r.obs.OnBadMarker()
+			}
+		case packet.Reset:
+			r.applyReset(c, p)
 		}
 		return
 	}
@@ -617,6 +701,9 @@ func (r *Resequencer) maybeFastForward() {
 	min := uint64(0)
 	have := false
 	for c := 0; c < r.n; c++ {
+		if r.left[c] {
+			continue // removed slots neither block nor bound the jump
+		}
 		if !r.marked[c] || r.expect[c] <= r.s.Round() {
 			return
 		}
@@ -624,6 +711,9 @@ func (r *Resequencer) maybeFastForward() {
 			min = r.expect[c]
 			have = true
 		}
+	}
+	if !have {
+		return
 	}
 	from := r.s.Round()
 	r.s.AdvanceRoundTo(min)
@@ -633,6 +723,9 @@ func (r *Resequencer) maybeFastForward() {
 
 func (r *Resequencer) nextLogical() (*packet.Packet, bool) {
 	for {
+		if r.leavingN > 0 {
+			r.sweepLeaving()
+		}
 		r.maybeFastForward()
 		c := r.s.SelectFor(r.skip)
 		if r.pendingHas[c] {
@@ -645,6 +738,15 @@ func (r *Resequencer) nextLogical() (*packet.Packet, bool) {
 		}
 		p, ok := r.bufs[c].peek()
 		if !ok {
+			if r.leaving[c] {
+				// The simulation is blocked on a draining channel: what it
+				// still expects from c is lost, or would arrive only after
+				// this point in the delivery order. Retire rather than
+				// wedge — the delimiter path retires losslessly whenever
+				// it wins this race.
+				r.retire(c)
+				continue
+			}
 			// Logical reception blocks here until channel c produces the
 			// packet the simulation says comes next.
 			return nil, false
@@ -756,8 +858,8 @@ func (r *Resequencer) applyMarker(c int, m packet.MarkerBlock) {
 }
 
 func (r *Resequencer) allStale() bool {
-	for _, ok := range r.staleHas {
-		if !ok {
+	for c, ok := range r.staleHas {
+		if !ok && !r.left[c] {
 			return false
 		}
 	}
@@ -781,11 +883,17 @@ func (r *Resequencer) clearStale() {
 //
 //stripe:allowescape cold self-stabilization path: fires only after healGap-stale markers on every channel, and restoring scheduler state allocates
 func (r *Resequencer) selfHeal() {
-	min := r.staleRound[0]
-	for _, v := range r.staleRound[1:] {
-		if v < min {
-			min = v
+	min, have := uint64(0), false
+	for c, v := range r.staleRound {
+		if r.left[c] {
+			continue // removed slots carry no marker evidence
 		}
+		if !have || v < min {
+			min, have = v, true
+		}
+	}
+	if !have {
+		return
 	}
 	r.s.Restore(sched.State{
 		Current:  0,
@@ -794,6 +902,9 @@ func (r *Resequencer) selfHeal() {
 		Deficits: append([]int64(nil), r.staleDeficit...),
 	})
 	for c := 0; c < r.n; c++ {
+		if r.left[c] {
+			continue
+		}
 		r.marked[c] = true
 		r.expect[c] = r.staleRound[c]
 	}
@@ -806,13 +917,25 @@ func (r *Resequencer) selfHeal() {
 func (r *Resequencer) nextSequence() (*packet.Packet, bool) {
 scan:
 	for {
+		if r.leavingN > 0 {
+			r.sweepLeaving()
+		}
 		// Deliver any head matching the expected sequence number.
 		allHeads := true
 		minSeq := uint64(0)
 		minCh := -1
 		for c := 0; c < r.n; c++ {
+			if r.left[c] {
+				continue // removed slots neither hold heads nor block gaps
+			}
 			p, ok := r.bufs[c].peek()
 			if !ok {
+				if r.leaving[c] {
+					// Same rule as the logical scan: a draining channel the
+					// sequence scan is out of heads for must not wedge it.
+					r.retire(c)
+					continue scan
+				}
 				allHeads = false
 				continue
 			}
@@ -923,6 +1046,18 @@ func (r *Resequencer) applyReset(c int, p *packet.Packet) {
 			}
 			r.stats.OldEpochDrops++
 			r.obs.OnOldEpochDrops(1)
+		}
+	}
+	// Channels outside the live set never carry the new epoch's reset
+	// boundary, so do not wait on them. A draining channel finishes its
+	// retirement here: the flush above already discarded its backlog as
+	// old-epoch traffic, so there is nothing left to deliver in order.
+	for i := 0; i < r.n; i++ {
+		if r.leaving[i] {
+			r.retire(i)
+		}
+		if r.left[i] {
+			r.passed[i] = true
 		}
 	}
 	if r.allPassed() {

@@ -80,6 +80,7 @@ type Striper struct {
 	rb            sched.RoundBased // non-nil for round-based scheduling
 	cs            sched.Causal     // non-nil for round-less causal scheduling
 	csInit        sched.State      // cs start state, for resets
+	mem           sched.Membership // non-nil when the scheduler supports dynamic membership
 	out           []channel.Sender
 	policy        MarkerPolicy
 	addSeq        bool
@@ -91,6 +92,19 @@ type Striper struct {
 	nextID        uint64
 	clock         int64
 	epoch         uint64
+
+	// Dynamic membership (see membership.go). The channel universe is
+	// fixed at construction — slots are enabled and disabled, never
+	// renumbered, preserving condition C2's identical numbering on both
+	// ends across arbitrary join/leave histories.
+	active       []bool
+	activeN      int
+	memberSeq    uint64
+	lastAnnounce packet.MemberBlock
+	announceLeft int      // marker batches that still piggyback the announcement
+	errStreak    []int64  // consecutive transport errors per channel
+	pendingJoin  []uint64 // announced join round per slot awaiting its round boundary (0 = none)
+	pendingJoins int      // count of non-zero pendingJoin entries
 
 	// Counters.
 	sentData    int64
@@ -151,6 +165,14 @@ func NewStriper(cfg StriperConfig) (*Striper, error) {
 	}
 	st.sentOn = make([]int64, len(st.out))
 	st.sentPktsOn = make([]int64, len(st.out))
+	st.mem, _ = s.(sched.Membership)
+	st.active = make([]bool, len(st.out))
+	for c := range st.active {
+		st.active[c] = true
+	}
+	st.activeN = len(st.out)
+	st.errStreak = make([]int64, len(st.out))
+	st.pendingJoin = make([]uint64, len(st.out))
 	if st.obs != nil && st.rb != nil {
 		for c := range st.out {
 			st.obs.SetQuantum(c, st.rb.QuantumOf(c))
@@ -204,8 +226,12 @@ func (st *Striper) maybeEmitMarkers() {
 	// At the due round, wait for the pointer to rest on the configured
 	// position; if the round was overshot (the pointer skipped past the
 	// position, which can happen when a channel's overdraft forfeits its
-	// service), cut the batch at the first boundary available.
-	if r == st.nextMark && st.rb.Current() != st.policy.Position {
+	// service), cut the batch at the first boundary available. A disabled
+	// (or not-yet-joined) position channel is never rested on, so
+	// membership changes fall back to first-boundary cadence rather than
+	// stalling the marker clock.
+	if r == st.nextMark && st.rb.Current() != st.policy.Position &&
+		st.active[st.policy.Position] && st.pendingJoin[st.policy.Position] == 0 {
 		return
 	}
 	st.emitBatch()
@@ -237,23 +263,44 @@ func (st *Striper) EmitMarkers() {
 //stripe:allowescape marker batch: control-plane work amortized over a marker interval (policy.Every rounds), and marker packets must allocate
 func (st *Striper) emitBatch() {
 	for c := range st.out {
-		d := st.rb.Deficit(c)
-		if st.rb.MidService() && st.rb.Current() == c {
-			d -= st.rb.QuantumOf(c)
+		if !st.active[c] {
+			continue
 		}
-		mb := packet.MarkerBlock{
-			Channel: uint32(c),
-			Round:   st.rb.NextServiceRound(c),
-			Deficit: d,
-			Sent:    uint64(st.sentOn[c]),
+		mb := packet.MarkerBlock{Channel: uint32(c), Sent: uint64(st.sentOn[c])}
+		if j := st.pendingJoin[c]; j != 0 {
+			// A joined slot awaiting its round boundary has an exact
+			// implicit position already: first service at the join round
+			// with a fresh deficit. The scheduler knows nothing useful
+			// about the slot yet, but skipping it instead would stop the
+			// channel's piggybacked credits — and on an idle direction
+			// (rounds never advance, the join never fires) that would
+			// starve the peer's reverse-path flow control for good.
+			mb.Round = j
+		} else {
+			d := st.rb.Deficit(c)
+			if st.rb.MidService() && st.rb.Current() == c {
+				d -= st.rb.QuantumOf(c)
+			}
+			mb.Round = st.rb.NextServiceRound(c)
+			mb.Deficit = d
 		}
 		if st.markerCredits != nil {
 			mb.Credits = st.markerCredits(c)
 		}
 		if err := st.out[c].Send(packet.NewMarker(mb)); err == nil {
 			st.sentMarkers++
+			st.errStreak[c] = 0
 			st.obs.OnMarkerEmitted(c)
+		} else {
+			st.errStreak[c]++
 		}
+	}
+	// Membership announcements ride the marker cadence for a few batches
+	// after each transition, so a single lost announcement packet cannot
+	// leave the two ends with divergent live sets.
+	if st.announceLeft > 0 {
+		st.announceLeft--
+		st.broadcastMember()
 	}
 }
 
@@ -290,6 +337,12 @@ func (st *Striper) SyncObs() {
 //
 //stripe:hotpath
 func (st *Striper) Send(p *packet.Packet) error {
+	if st.activeN == 0 {
+		return ErrNoActiveChannels
+	}
+	if st.pendingJoins != 0 {
+		st.applyPendingJoins()
+	}
 	st.maybeEmitMarkers()
 	c := st.s.Select()
 	if st.gate != nil && !st.gate.Admit(c, p.Len()) {
@@ -310,8 +363,9 @@ func (st *Striper) Send(p *packet.Packet) error {
 		p.HasSeq = true
 	}
 	if err := st.out[c].Send(p); err != nil {
-		return err
+		return st.sendFailed(c, err)
 	}
+	st.errStreak[c] = 0
 	st.nextID++
 	st.clock++
 	if st.addSeq {
@@ -356,10 +410,19 @@ func (st *Striper) Reset() error {
 	}
 	var firstErr error
 	for c := range st.out {
+		if !st.active[c] {
+			continue
+		}
 		p := &packet.Packet{Kind: packet.Reset, Payload: append([]byte(nil), pl...)}
 		if err := st.out[c].Send(p); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if st.pendingJoins != 0 {
+		// A reset returns both automatons to the common start state, which
+		// subsumes any join still waiting on its round boundary: the slot
+		// simply starts the new epoch enabled.
+		st.flushPendingJoins()
 	}
 	if st.rb != nil {
 		st.rb.Reset()

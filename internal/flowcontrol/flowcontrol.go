@@ -43,7 +43,12 @@ type Gate struct {
 	sent   []int64
 	grant  []int64
 	window int64
-	obs    *obs.Collector
+	// retired marks channels torn down by dynamic membership: they admit
+	// nothing, their outstanding credit has been returned, and incoming
+	// grants are ignored until Readmit. Counters stay cumulative across
+	// retirement so a rejoin reconciles from the same byte positions.
+	retired []bool
+	obs     *obs.Collector
 }
 
 // SetObs attaches a collector; the gate keeps its per-channel
@@ -64,11 +69,53 @@ func NewGate(n int, w int64) (*Gate, error) {
 	if w < 0 {
 		return nil, fmt.Errorf("flowcontrol: negative initial window %d", w)
 	}
-	g := &Gate{sent: make([]int64, n), grant: make([]int64, n), window: w}
+	g := &Gate{sent: make([]int64, n), grant: make([]int64, n), window: w, retired: make([]bool, n)}
 	for i := range g.grant {
 		g.grant[i] = w
 	}
 	return g, nil
+}
+
+// Retire tears down channel c's credit account when it leaves the
+// stripe, returning the outstanding (granted-but-unused) credit so the
+// caller can account for it. After Retire the channel admits nothing
+// and incoming grants for it are silently ignored (the peer keeps
+// granting until its own membership view catches up — those grants are
+// stale by definition, not errors). The cumulative sent counter is
+// preserved: it is the position a rejoin reconciles from.
+func (g *Gate) Retire(c int) int64 {
+	if c < 0 || c >= len(g.grant) || g.retired[c] {
+		return 0
+	}
+	outstanding := g.grant[c] - g.sent[c]
+	// Clamp the grant to the sent position: the account closes with zero
+	// debt, so credit-conservation checks stay clean across teardown.
+	g.grant[c] = g.sent[c]
+	g.retired[c] = true
+	g.obs.SetCreditRemaining(c, 0)
+	return outstanding
+}
+
+// Readmit reopens channel c's account with a fresh window above the
+// preserved cumulative sent position. That is exactly the receiver's
+// real capacity: its buffers for c drained at teardown, and bytes that
+// died in flight are written off by the first marker reconciliation
+// after the rejoin, so granting sent + W here cannot overflow the peer.
+func (g *Gate) Readmit(c int) {
+	if c < 0 || c >= len(g.grant) || !g.retired[c] {
+		return
+	}
+	g.retired[c] = false
+	g.grant[c] = g.sent[c] + g.window
+	g.obs.SetCreditRemaining(c, g.window)
+}
+
+// Retired reports whether channel c's account is torn down.
+func (g *Gate) Retired(c int) bool {
+	if c < 0 || c >= len(g.grant) {
+		return false
+	}
+	return g.retired[c]
 }
 
 // Admit reports whether a packet of the given size fits channel c's
@@ -76,7 +123,7 @@ func NewGate(n int, w int64) (*Gate, error) {
 //
 //stripe:hotpath
 func (g *Gate) Admit(c int, size int) bool {
-	if c < 0 || c >= len(g.grant) || size < 0 {
+	if c < 0 || c >= len(g.grant) || size < 0 || g.retired[c] {
 		return false
 	}
 	return g.sent[c]+int64(size) <= g.grant[c]
@@ -115,6 +162,11 @@ func (g *Gate) ApplyGrant(c int, grant int64) error {
 	if grant > g.sent[c]+g.window {
 		return fmt.Errorf("flowcontrol: grant %d for channel %d exceeds sent %d + window %d",
 			grant, c, g.sent[c], g.window)
+	}
+	if g.retired[c] {
+		// In-flight grants from before the peer learned of the teardown;
+		// stale by definition, dropped without error.
+		return nil
 	}
 	if grant > g.grant[c] {
 		g.grant[c] = grant

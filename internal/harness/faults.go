@@ -52,16 +52,49 @@ func (f ChannelFaults) out(iter int) bool {
 	return false
 }
 
+// CorrelatedOutage takes a set of channels down simultaneously for one
+// [start, end) iteration window — the shared-fate failures (a common
+// physical path, a site power event) that per-channel schedules cannot
+// express. During the window none of the listed channels delivers
+// anything; k-of-n simultaneous outages stress the resequencer and the
+// credit machinery far harder than the same windows staggered.
+type CorrelatedOutage struct {
+	Window   [2]int
+	Channels []int
+}
+
 // FaultPlan is a full per-channel fault schedule plus reverse-path
 // impairments.
 type FaultPlan struct {
 	// Channels holds one schedule per channel; its length sets the
 	// channel count.
 	Channels []ChannelFaults
+	// Correlated holds cross-channel outage windows layered on top of
+	// the per-channel schedules.
+	Correlated []CorrelatedOutage
 	// CreditLossEvery drops every k-th credit refresh on the reverse
 	// path (0 = lossless reverse path). Grants are cumulative, so a
 	// later refresh recovers the dropped one.
 	CreditLossEvery int
+}
+
+// down reports whether channel c is in any outage window — its own or a
+// correlated one — at iteration iter.
+func (p FaultPlan) down(c, iter int) bool {
+	if p.Channels[c].out(iter) {
+		return true
+	}
+	for _, o := range p.Correlated {
+		if iter < o.Window[0] || iter >= o.Window[1] {
+			continue
+		}
+		for _, oc := range o.Channels {
+			if oc == c {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // FaultReport is the outcome of one fault-injection run.
@@ -204,9 +237,10 @@ func RunFaults(plan FaultPlan, seed int64, w int64, maxBuffered, total int, reco
 		if iter%16 == 0 {
 			st.EmitMarkers()
 		}
-		// Pump each channel that is not in an outage window.
+		// Pump each channel that is not in an outage window (its own or a
+		// correlated one).
 		for c := range queues {
-			if !plan.Channels[c].out(iter) {
+			if !plan.down(c, iter) {
 				pump(c, iter)
 			}
 		}
@@ -296,6 +330,30 @@ func DefaultFaultPlan(nch int) FaultPlan {
 	}
 	if nch > 3 {
 		plan.Channels[3].Jitter = 10
+	}
+	return plan
+}
+
+// CorrelatedFaultPlan is DefaultFaultPlan plus two shared-fate windows
+// in which k of the nch channels are down simultaneously: channels
+// 0..k-1 together mid-run, then a different overlapping subset later,
+// so at the worst point only nch-k channels carry the whole stream.
+func CorrelatedFaultPlan(nch, k int) FaultPlan {
+	plan := DefaultFaultPlan(nch)
+	if k > nch {
+		k = nch
+	}
+	first := make([]int, 0, k)
+	for c := 0; c < k; c++ {
+		first = append(first, c)
+	}
+	second := make([]int, 0, k)
+	for c := 0; c < k; c++ {
+		second = append(second, (c+nch/2)%nch)
+	}
+	plan.Correlated = []CorrelatedOutage{
+		{Window: [2]int{800, 1000}, Channels: first},
+		{Window: [2]int{2600, 2900}, Channels: second},
 	}
 	return plan
 }

@@ -1,0 +1,30 @@
+package harness
+
+import "testing"
+
+// TestFlapAcceptance runs the channel-flap scenario at reduced scale
+// and holds it to the same bar as the full experiment: FIFO delivery
+// throughout, every packet accounted for, at least one eviction and one
+// probe-driven reinstatement, and silent invariant checkers on both
+// ends.
+func TestFlapAcceptance(t *testing.T) {
+	const total = 900
+	rep := RunFlap(7, total)
+
+	if rep.FIFOBreaks != 0 {
+		t.Errorf("FIFO violations = %d, want 0", rep.FIFOBreaks)
+	}
+	if rep.Violations != 0 {
+		t.Errorf("invariant violations = %d, want 0", rep.Violations)
+	}
+	if !rep.Completed || rep.Accounted() != total {
+		t.Errorf("accounted %d/%d (completed=%v); every packet needs a known fate",
+			rep.Accounted(), total, rep.Completed)
+	}
+	if rep.Evictions < 1 {
+		t.Errorf("evictions = %d, want >= 1 (the cut link must be evicted)", rep.Evictions)
+	}
+	if !rep.Reinstated || rep.Reinstates < 1 {
+		t.Errorf("reinstated=%v reinstates=%d; the restored link must rejoin", rep.Reinstated, rep.Reinstates)
+	}
+}

@@ -9,7 +9,7 @@ import (
 func quickCfg() Config { return Config{Quick: true, Seed: 1} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"aggregate", "credit", "faults", "fig15", "loss", "markerfreq", "markerpos", "quantum", "scaling", "skew", "srrgrr", "table1", "video"}
+	want := []string{"aggregate", "credit", "faults", "fig15", "flap", "loss", "markerfreq", "markerpos", "quantum", "scaling", "skew", "srrgrr", "table1", "video"}
 	all := All()
 	if len(all) != len(want) {
 		ids := make([]string, len(all))

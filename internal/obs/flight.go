@@ -13,6 +13,9 @@
 //   - resync storm: more than StormThreshold KindResync events inside
 //     one StormWindow — isolated resyncs are routine loss recovery, a
 //     burst means a channel is flapping;
+//   - auto-eviction: a KindMemberEvict event (the health monitor
+//     force-removed a channel after consecutive send errors or marker
+//     silence);
 //   - fairness-band exit / any invariant break: a
 //     KindInvariantViolation event from the attached Checker.
 //
@@ -114,6 +117,8 @@ func (f *FlightRecorder) Event(e Event) {
 		reason = "resequencer overflow"
 	case KindInvariantViolation:
 		reason = "invariant violation"
+	case KindMemberEvict:
+		reason = "channel auto-evicted"
 	case KindResync:
 		if f.cfg.StormThreshold > 0 {
 			cutoff := e.At - f.cfg.StormWindow.Nanoseconds()

@@ -48,6 +48,13 @@ type CreditAccount struct {
 	Granted  int64 // cumulative bytes the receiver has granted
 	Consumed int64 // cumulative bytes the sender has charged against it
 	Window   int64 // configured credit window W
+	// Retired marks an account torn down by dynamic membership (the
+	// channel left the live set and its outstanding credit was
+	// returned). Conservation is not asserted on retired accounts: the
+	// teardown clamps granted to consumed by design, and the peer's
+	// in-flight grants are ignored rather than folded in, so the ledger
+	// is intentionally frozen, not leaking.
+	Retired bool
 }
 
 // CreditSource supplies the current per-channel credit ledgers. It is
@@ -139,7 +146,10 @@ func (k *Checker) run(c *Collector, src CreditSource) {
 		for _, a := range src() {
 			debt := a.Granted - a.Consumed
 			name := fmt.Sprintf("credit/%d", a.Channel)
-			k.check(&fired, name, debt < 0 || debt > a.Window, Violation{
+			// A retired account is never in violation; evaluating it as
+			// healthy also clears any edge-trigger state from before the
+			// teardown.
+			k.check(&fired, name, !a.Retired && (debt < 0 || debt > a.Window), Violation{
 				Check: "credit", Channel: a.Channel, Round: round, Value: debt,
 				Detail: fmt.Sprintf("granted-consumed = %d-%d = %d outside [0, window %d]",
 					a.Granted, a.Consumed, debt, a.Window),

@@ -48,6 +48,23 @@ type chanCounters struct {
 	markersDrained  atomic.Int64 // markers consumed eagerly at arrival
 	reconciles      atomic.Int64 // credit reconciliations that wrote off loss
 	lostReconciled  atomic.Int64 // bytes written off as lost and re-granted
+
+	// Dynamic membership lifecycle (join/drain/evict/reinstate
+	// transitions observed on the channel; a session-level change fires
+	// one transition per protocol engine that applies it).
+	joins      atomic.Int64
+	drains     atomic.Int64
+	evictions  atomic.Int64
+	reinstates atomic.Int64
+	inactive   atomic.Bool // gauge: channel currently out of the live set
+
+	// Fairness baseline: the (round, striped-bytes) position at the
+	// channel's most recent (re)join. The Theorem 3.2 band is asserted
+	// over rounds the channel actually participated in, so a rejoined
+	// channel is not charged for rounds it sat out. Zero values preserve
+	// the original since-construction accounting.
+	baseRound atomic.Uint64
+	baseBytes atomic.Int64
 }
 
 // Collector is the lock-free metrics core. Construct with NewCollector
@@ -429,6 +446,93 @@ func (c *Collector) OnReseqOverflow(channel int, buffered int64, dropped bool) {
 	c.emit(KindReseqOverflow, channel, c.round.Load(), v)
 }
 
+// --- Membership hooks --------------------------------------------------
+
+// OnMemberJoin records channel (re)joining the live set. round is the
+// round in which the serving scheduler first serves it. Both directions'
+// engines fire it (a session's transmit admit and receive admit each
+// count one join); only the transmit side may additionally rebase the
+// fairness baseline, via RebaseFairness.
+func (c *Collector) OnMemberJoin(channel int, round uint64) {
+	if c == nil {
+		return
+	}
+	if c.inRange(channel) {
+		cc := &c.ch[channel]
+		cc.joins.Add(1)
+		cc.inactive.Store(false)
+	}
+	c.emit(KindMemberJoin, channel, round, 0)
+}
+
+// RebaseFairness resets channel's fairness baseline to (round, current
+// striped bytes) so the Theorem 3.2 band measures the channel only over
+// rounds it participates in. Only the transmit-side join path may call
+// it, with round in the local striper's round space: a receive-side
+// join's announced round belongs to the peer's striper — an unrelated
+// round space — and rebasing to it would misstate the band by however
+// far the two spaces diverge. Callers flush batched byte counters first
+// so the byte position read here is exact.
+func (c *Collector) RebaseFairness(channel int, round uint64) {
+	if c == nil || !c.inRange(channel) {
+		return
+	}
+	cc := &c.ch[channel]
+	cc.baseRound.Store(round)
+	cc.baseBytes.Store(cc.stripedBytes.Load())
+}
+
+// OnMemberDrain records channel leaving the live set. value carries the
+// outstanding credit returned by gate teardown (sender side) or the
+// buffered packets declared lost (receiver side).
+func (c *Collector) OnMemberDrain(channel int, round uint64, value int64) {
+	if c == nil {
+		return
+	}
+	if c.inRange(channel) {
+		cc := &c.ch[channel]
+		cc.drains.Add(1)
+		cc.inactive.Store(true)
+	}
+	c.emit(KindMemberDrain, channel, round, value)
+}
+
+// OnMemberEvict records the health monitor force-removing channel;
+// value is the consecutive send-error count (or nanoseconds of marker
+// silence). The transition itself also fires OnMemberDrain from the
+// engines it tears down; this event marks that it was involuntary, and
+// it is a flight-recorder dump trigger.
+func (c *Collector) OnMemberEvict(channel int, value int64) {
+	if c == nil {
+		return
+	}
+	if c.inRange(channel) {
+		c.ch[channel].evictions.Add(1)
+	}
+	c.emit(KindMemberEvict, channel, c.round.Load(), value)
+}
+
+// OnMemberReinstate records the health monitor re-admitting a
+// previously evicted channel after observing recovery.
+func (c *Collector) OnMemberReinstate(channel int) {
+	if c == nil {
+		return
+	}
+	if c.inRange(channel) {
+		c.ch[channel].reinstates.Add(1)
+	}
+	c.emit(KindMemberReinstate, channel, c.round.Load(), 0)
+}
+
+// MemberActive reports the membership gauge for channel (true for
+// channels never touched by membership hooks).
+func (c *Collector) MemberActive(channel int) bool {
+	if c == nil || !c.inRange(channel) {
+		return false
+	}
+	return !c.ch[channel].inactive.Load()
+}
+
 // --- Channel hooks -----------------------------------------------------
 
 // OnChannelLost records a packet dropped (lost or corrupted) by the
@@ -450,30 +554,43 @@ func (c *Collector) SetChannelQueueDepth(channel int, depth int64) {
 
 // --- Derived metrics ---------------------------------------------------
 
-// Fairness returns the live fairness gauge: the maximum over channels
-// of |K·Quantum_i − bytes_i| (K the sender's current round, bytes_i the
-// data bytes striped onto channel i) and the theoretical bound
-// Max + 2·max_i(Quantum_i) of Theorem 3.2. Both are zero until a round
-// completes or when quanta were never registered (non-round-based
-// schedulers).
+// Fairness returns the live fairness gauge: the maximum over live
+// channels of |K_i·Quantum_i − bytes_i| (K_i the rounds elapsed since
+// the channel's fairness baseline — its construction or most recent
+// rejoin — and bytes_i the data bytes striped onto it since then) and
+// the theoretical bound Max + 2·max_i(Quantum_i) of Theorem 3.2. With
+// static membership the baselines are zero and this is the original
+// since-construction gauge. Channels currently out of the live set are
+// excluded: the theorem quantifies over the surviving set. Both results
+// are zero until a round completes or when quanta were never registered
+// (non-round-based schedulers).
 func (c *Collector) Fairness() (discrepancy, bound int64) {
 	if c == nil {
 		return 0, 0
 	}
-	k := int64(c.round.Load())
+	k := c.round.Load()
 	if k == 0 {
 		return 0, 0
 	}
 	var maxQ int64
 	for i := range c.ch {
-		q := c.ch[i].quantum.Load()
-		if q <= 0 {
+		cc := &c.ch[i]
+		q := cc.quantum.Load()
+		if q <= 0 || cc.inactive.Load() {
 			continue
 		}
 		if q > maxQ {
 			maxQ = q
 		}
-		d := k*q - c.ch[i].stripedBytes.Load()
+		base := cc.baseRound.Load()
+		if base >= k {
+			// Joined for a future round; no participation to measure yet.
+			continue
+		}
+		// k > base >= 0, so the difference fits int64 for any realistic
+		// round count
+		ki := int64(k - base)
+		d := ki*q - (cc.stripedBytes.Load() - cc.baseBytes.Load())
 		if d < 0 {
 			d = -d
 		}
@@ -508,6 +625,13 @@ type ChannelSnapshot struct {
 	MarkersDrained   int64
 	CreditReconciles int64
 	LostReconciled   int64
+
+	// Lifecycle counters and the live-set gauge for dynamic membership.
+	MemberJoins      int64
+	MemberDrains     int64
+	MemberEvictions  int64
+	MemberReinstates int64
+	MemberActive     bool
 }
 
 // Snapshot is a point-in-time copy of every metric the collector holds,
@@ -602,6 +726,11 @@ func (c *Collector) Snapshot() Snapshot {
 			MarkersDrained:   cc.markersDrained.Load(),
 			CreditReconciles: cc.reconciles.Load(),
 			LostReconciled:   cc.lostReconciled.Load(),
+			MemberJoins:      cc.joins.Load(),
+			MemberDrains:     cc.drains.Load(),
+			MemberEvictions:  cc.evictions.Load(),
+			MemberReinstates: cc.reinstates.Load(),
+			MemberActive:     !cc.inactive.Load(),
 		}
 	}
 	s.FairnessDiscrepancy, s.FairnessBound = c.Fairness()

@@ -121,6 +121,26 @@ func WritePrometheus(w io.Writer, cols ...*Collector) {
 	perChannel("stripe_credit_lost_bytes_total", "counter",
 		"Bytes written off as lost by credit reconciliation and granted back.",
 		func(c *ChannelSnapshot) int64 { return c.LostReconciled })
+	perChannel("stripe_member_joins_total", "counter",
+		"Channel (re)join transitions into the live set.",
+		func(c *ChannelSnapshot) int64 { return c.MemberJoins })
+	perChannel("stripe_member_drains_total", "counter",
+		"Channel drain transitions out of the live set.",
+		func(c *ChannelSnapshot) int64 { return c.MemberDrains })
+	perChannel("stripe_member_evictions_total", "counter",
+		"Health-monitor forced removals (consecutive send errors or marker silence).",
+		func(c *ChannelSnapshot) int64 { return c.MemberEvictions })
+	perChannel("stripe_member_reinstates_total", "counter",
+		"Health-monitor re-admissions after recovery.",
+		func(c *ChannelSnapshot) int64 { return c.MemberReinstates })
+	perChannel("stripe_member_active", "gauge",
+		"Live-set membership per channel (1 = striping, 0 = removed).",
+		func(c *ChannelSnapshot) int64 {
+			if c.MemberActive {
+				return 1
+			}
+			return 0
+		})
 
 	scalar("stripe_round", "gauge",
 		"Sender global round number G.",

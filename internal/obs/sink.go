@@ -46,6 +46,23 @@ const (
 	// the sender round, Value the violation magnitude in the
 	// invariant's own unit (bytes over the bound, rounds regressed).
 	KindInvariantViolation
+	// KindMemberJoin: a channel (re)joined the live set. Channel is the
+	// joining channel, Round the round in which the scheduler first
+	// serves it.
+	KindMemberJoin
+	// KindMemberDrain: a channel left the live set (graceful removal or
+	// receiver-side drain completion). Channel is the departing channel,
+	// Round the automaton round at departure, Value the outstanding
+	// credit returned by gate teardown (sender side) or the buffered
+	// packets declared lost (receiver side).
+	KindMemberDrain
+	// KindMemberEvict: the health monitor force-removed a channel.
+	// Value is the consecutive send-error count (or, for marker-silence
+	// evictions, the silent interval in nanoseconds).
+	KindMemberEvict
+	// KindMemberReinstate: the health monitor re-admitted a previously
+	// evicted channel after observing recovery.
+	KindMemberReinstate
 
 	nKinds
 )
@@ -53,6 +70,7 @@ const (
 var kindNames = [nKinds]string{
 	"resync", "skip", "reset", "self_heal", "fast_forward", "credit_exhausted",
 	"credit_reconcile", "reseq_overflow", "invariant_violation",
+	"member_join", "member_drain", "member_evict", "member_reinstate",
 }
 
 // String returns the exposition name of the kind.

@@ -1,0 +1,96 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestMemberRoundTrip checks that any member block survives the wire
+// encoding byte-for-byte, including appending after a non-empty prefix.
+func TestMemberRoundTrip(t *testing.T) {
+	check := func(seq uint64, op uint8, target uint32, round, active uint64, n uint32) bool {
+		m := MemberBlock{
+			Seq:    seq,
+			Op:     MemberOp(op % 3),
+			Target: target,
+			Round:  round,
+			Active: active,
+			N:      n,
+		}
+		prefix := []byte("junk-prefix")
+		b := m.Encode(append([]byte(nil), prefix...))
+		if len(b) != len(prefix)+MemberWireLen {
+			return false
+		}
+		got, err := DecodeMember(b[len(prefix):])
+		return err == nil && got == m
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeMemberErrors checks the three rejection paths: truncation,
+// wrong magic, and checksum mismatch. A corrupted announcement must be
+// dropped, not applied — a desynchronized membership view is worse than
+// a missed (re-broadcast) one.
+func TestDecodeMemberErrors(t *testing.T) {
+	m := MemberBlock{Seq: 9, Op: MemberJoin, Target: 2, Round: 17, Active: 0b101, N: 3}
+	wire := m.Encode(nil)
+
+	if _, err := DecodeMember(wire[:MemberWireLen-1]); err != ErrBadLength {
+		t.Errorf("truncated: err = %v, want ErrBadLength", err)
+	}
+	bad := append([]byte(nil), wire...)
+	bad[0] = 'X'
+	if _, err := DecodeMember(bad); err != ErrBadMagic {
+		t.Errorf("bad magic: err = %v, want ErrBadMagic", err)
+	}
+	bad = append([]byte(nil), wire...)
+	bad[20] ^= 0xff // flip a round byte, leave the CRC
+	if _, err := DecodeMember(bad); err != ErrChecksum {
+		t.Errorf("corrupt body: err = %v, want ErrChecksum", err)
+	}
+}
+
+// TestMemberOf checks packet-level extraction and the kind guard.
+func TestMemberOf(t *testing.T) {
+	m := MemberBlock{Seq: 3, Op: MemberLeave, Target: 1, Round: 4, Active: 0b01, N: 2}
+	p := NewMember(m)
+	if p.Kind != Member {
+		t.Fatalf("NewMember kind = %v", p.Kind)
+	}
+	got, err := MemberOf(p)
+	if err != nil || got != m {
+		t.Fatalf("MemberOf = %+v, %v; want %+v", got, err, m)
+	}
+	if _, err := MemberOf(NewDataSized(10)); err == nil {
+		t.Fatal("MemberOf accepted a data packet")
+	}
+}
+
+// TestActiveChannelBounds checks the bitmap accessor, including the
+// out-of-range channels that must read as inactive rather than shifting
+// out of the 64-bit universe.
+func TestActiveChannelBounds(t *testing.T) {
+	m := MemberBlock{Active: 1 | 1<<5 | 1<<63}
+	for c, want := range map[int]bool{0: true, 1: false, 5: true, 63: true, -1: false, 64: false, 1000: false} {
+		if got := m.ActiveChannel(c); got != want {
+			t.Errorf("ActiveChannel(%d) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+// TestMemberOpString pins the diagnostic names.
+func TestMemberOpString(t *testing.T) {
+	for op, want := range map[MemberOp]string{
+		MemberLeave:  "leave",
+		MemberJoin:   "join",
+		MemberStatus: "status",
+		MemberOp(9):  "memberop(9)",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", uint8(op), got, want)
+		}
+	}
+}

@@ -41,6 +41,11 @@ const (
 	// ends. The paper uses a reset to recover from node crashes and to
 	// make the marker algorithm self-stabilizing.
 	Reset
+	// Member announces a change to the live channel set (Section 6.1's
+	// interfaces that come and go): a channel joining or leaving the
+	// stripe, carried as a sequenced bitmap of the surviving membership
+	// so announcements are idempotent under loss and reordering.
+	Member
 )
 
 // String returns the conventional name of the kind.
@@ -54,6 +59,8 @@ func (k Kind) String() string {
 		return "credit"
 	case Reset:
 		return "reset"
+	case Member:
+		return "member"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSetEnabledScanSkips checks that disabled slots vanish from the
+// round-robin scan without consuming their quanta, and that the
+// membership accessors track the live set.
+func TestSetEnabledScanSkips(t *testing.T) {
+	s := MustSRR(UniformQuanta(4, 100))
+	s.SetEnabled(1, false)
+	s.SetEnabled(2, false)
+	if got := s.ActiveN(); got != 2 {
+		t.Fatalf("ActiveN = %d, want 2", got)
+	}
+	for c, want := range []bool{true, false, false, true} {
+		if got := s.Enabled(c); got != want {
+			t.Fatalf("Enabled(%d) = %v, want %v", c, got, want)
+		}
+	}
+	want := []int{0, 3, 0, 3, 0, 3}
+	for i, w := range want {
+		if got := s.Select(); got != w {
+			t.Fatalf("selection %d: channel %d, want %d", i, got, w)
+		}
+		s.Account(100)
+	}
+	if got := s.Round(); got != 3 {
+		t.Fatalf("round = %d, want 3 after three two-channel rounds", got)
+	}
+	// Idempotence: disabling a disabled slot or enabling an enabled one
+	// must not corrupt the live count.
+	s.SetEnabled(1, false)
+	s.SetEnabled(0, true)
+	if got := s.ActiveN(); got != 2 {
+		t.Fatalf("ActiveN after redundant toggles = %d, want 2", got)
+	}
+}
+
+// TestSetEnabledMidService checks the removal corner: disabling the
+// slot currently in service must end that service and move the scan
+// pointer off it, and the retired slot's deficit must be zeroed so a
+// later rejoin starts its Theorem 3.2 accounting from scratch.
+func TestSetEnabledMidService(t *testing.T) {
+	s := MustSRR(UniformQuanta(3, 500))
+	if got := s.Select(); got != 0 {
+		t.Fatalf("Select = %d, want 0", got)
+	}
+	s.Account(100) // deficit 400 remains: still mid-service on 0
+	if !s.MidService() || s.Current() != 0 {
+		t.Fatalf("expected mid-service on 0, got cur=%d mid=%v", s.Current(), s.MidService())
+	}
+	s.SetEnabled(0, false)
+	if s.MidService() {
+		t.Fatal("still mid-service after disabling the served slot")
+	}
+	if got := s.Deficit(0); got != 0 {
+		t.Fatalf("retired slot deficit = %d, want 0", got)
+	}
+	if got := s.Select(); got != 1 {
+		t.Fatalf("Select after removal = %d, want 1", got)
+	}
+	s.Account(500)
+	// Rejoin: the deficit stays zeroed, no stale surplus or penalty.
+	s.SetEnabled(0, true)
+	if got := s.Deficit(0); got != 0 {
+		t.Fatalf("rejoined slot deficit = %d, want 0", got)
+	}
+}
+
+// TestFairnessBandAcrossMembership is Theorem 3.2 over a shrinking and
+// growing live set: after any K rounds of backlogged service, the
+// difference between K·Quantum_i and the bytes channel i carried is
+// bounded by Max + 2·Quantum_i, independent of K — where K counts
+// rounds since the channel (re)entered the live set. A removal must
+// not disturb the survivors' bands, and a rejoined channel must re-form
+// its band from a fresh baseline.
+func TestFairnessBandAcrossMembership(t *testing.T) {
+	quanta := []int64{900, 600, 300}
+	const maxPkt = 280
+	s := MustSRR(quanta)
+	rng := rand.New(rand.NewSource(42))
+
+	bytes := make([]int64, len(quanta))
+	baseRound := make([]uint64, len(quanta))
+	baseBytes := make([]int64, len(quanta))
+
+	checkBands := func(round uint64) {
+		for c := range quanta {
+			if !s.Enabled(c) || round <= baseRound[c] {
+				continue
+			}
+			k := int64(round - baseRound[c])
+			diff := k*quanta[c] - (bytes[c] - baseBytes[c])
+			if diff < 0 {
+				diff = -diff
+			}
+			if bound := maxPkt + 2*quanta[c]; diff > bound {
+				t.Fatalf("round %d channel %d: |K·q - bytes| = %d > %d", round, c, diff, bound)
+			}
+		}
+	}
+
+	last := uint64(0)
+	var frozen int64
+	for s.Round() < 120 {
+		if r := s.Round(); r != last {
+			// Round boundary: the scan pointer is back at slot 0 with no
+			// service begun, so membership changes land exactly where a
+			// real striper's applyPendingJoins applies them.
+			checkBands(r)
+			switch r {
+			case 40:
+				s.SetEnabled(1, false)
+				frozen = bytes[1]
+			case 80:
+				if bytes[1] != frozen {
+					t.Fatalf("disabled channel carried %d bytes while out of the live set", bytes[1]-frozen)
+				}
+				s.SetEnabled(1, true)
+				baseRound[1], baseBytes[1] = r, bytes[1]
+			}
+			last = r
+		}
+		c := s.Select()
+		if !s.Enabled(c) {
+			t.Fatalf("round %d: selected disabled channel %d", s.Round(), c)
+		}
+		size := 1 + rng.Intn(maxPkt)
+		s.Account(size)
+		bytes[c] += int64(size)
+	}
+	checkBands(s.Round())
+}

@@ -74,12 +74,21 @@ type State struct {
 	// RNG is the generator state for randomized schedulers; zero
 	// otherwise.
 	RNG uint64
+	// Disabled holds the per-slot membership mask for schedulers that
+	// implement Membership. A nil Disabled means "leave membership
+	// unchanged" on Restore, so snapshots taken before membership
+	// existed (and the marker protocol's self-heal path, which restores
+	// only automaton position) compose with dynamic link sets.
+	Disabled []bool
 }
 
 // Clone returns a deep copy of the state.
 func (s State) Clone() State {
 	c := s
 	c.Deficits = append([]int64(nil), s.Deficits...)
+	if s.Disabled != nil {
+		c.Disabled = append([]bool(nil), s.Disabled...)
+	}
 	return c
 }
 
@@ -145,6 +154,30 @@ type RoundBased interface {
 	QuantumOf(c int) int64
 	// Reset reinitialises the automaton to its start state s0.
 	Reset()
+}
+
+// Membership is implemented by schedulers whose channel set can change
+// mid-run. The channel universe (N and the quantum vector) is fixed at
+// construction; membership enables and disables slots within it, which
+// keeps condition C2 of Section 5 (identical channel numbering at both
+// ends) trivially true across leaves and rejoins.
+//
+// Disabling a slot retires its deficit to zero and removes it from the
+// round-robin scan; the surviving channels keep the Theorem 3.2
+// fairness band relative to the rounds elapsed since the change,
+// because each still receives exactly its quantum per scan. Re-enabling
+// a slot restarts it with a zero deficit — the same state both ends
+// compute, so the receiver simulation stays in lockstep.
+type Membership interface {
+	// SetEnabled adds (true) or removes (false) slot c from the scan.
+	// Disabling retires the deficit; if c is mid-service its service
+	// ends immediately. Enabling grants a fresh zero deficit. Both are
+	// no-ops when the slot is already in the requested state.
+	SetEnabled(c int, on bool)
+	// Enabled reports whether slot c participates in the scan.
+	Enabled(c int) bool
+	// ActiveN returns the number of enabled slots.
+	ActiveN() int
 }
 
 // Quantum validation errors.

@@ -42,6 +42,11 @@ type SRR struct {
 	cur    int
 	round  uint64
 	began  bool
+	// disabled marks slots removed from the scan (dynamic membership);
+	// activeN counts the survivors. The zero value (all enabled) keeps
+	// static configurations on the original code path.
+	disabled []bool
+	activeN  int
 }
 
 // NewSRR returns a byte-denominated SRR over len(quanta) channels. For
@@ -80,9 +85,11 @@ func newSRR(quanta []int64, cost CostModel) (*SRR, error) {
 		return nil, err
 	}
 	return &SRR{
-		quanta: append([]int64(nil), quanta...),
-		dc:     make([]int64, len(quanta)),
-		cost:   cost,
+		quanta:   append([]int64(nil), quanta...),
+		dc:       make([]int64, len(quanta)),
+		cost:     cost,
+		disabled: make([]bool, len(quanta)),
+		activeN:  len(quanta),
 	}, nil
 }
 
@@ -125,6 +132,12 @@ func (s *SRR) Select() int { return s.SelectFor(nil) }
 func (s *SRR) SelectFor(skip func(c int) bool) int {
 	for {
 		if !s.began {
+			if s.disabled[s.cur] {
+				// A removed slot is passed over without its quantum;
+				// callers must not call Select with no enabled slots.
+				s.advance()
+				continue
+			}
 			if skip != nil && skip(s.cur) {
 				s.advance()
 				continue
@@ -224,6 +237,34 @@ func (s *SRR) AdvanceRoundTo(r uint64) {
 	}
 }
 
+// SetEnabled implements Membership. Disabling retires the slot's
+// deficit to zero (Theorem 3.2 accounting restarts from scratch if it
+// rejoins) and, when the slot is mid-service, ends that service so the
+// scan pointer never rests on a removed slot with its quantum granted.
+func (s *SRR) SetEnabled(c int, on bool) {
+	if s.disabled[c] == !on {
+		return
+	}
+	if on {
+		s.disabled[c] = false
+		s.dc[c] = 0
+		s.activeN++
+		return
+	}
+	if s.began && s.cur == c {
+		s.advance()
+	}
+	s.disabled[c] = true
+	s.dc[c] = 0
+	s.activeN--
+}
+
+// Enabled implements Membership.
+func (s *SRR) Enabled(c int) bool { return !s.disabled[c] }
+
+// ActiveN implements Membership.
+func (s *SRR) ActiveN() int { return s.activeN }
+
 // Snapshot implements Causal.
 func (s *SRR) Snapshot() State {
 	return State{
@@ -231,10 +272,12 @@ func (s *SRR) Snapshot() State {
 		Round:    s.round,
 		Began:    s.began,
 		Deficits: append([]int64(nil), s.dc...),
+		Disabled: append([]bool(nil), s.disabled...),
 	}
 }
 
-// Restore implements Causal.
+// Restore implements Causal. A nil st.Disabled leaves the membership
+// mask unchanged (see State.Disabled).
 func (s *SRR) Restore(st State) {
 	if len(st.Deficits) != len(s.dc) {
 		panic(fmt.Sprintf("sched: Restore with %d deficits into %d-channel SRR", len(st.Deficits), len(s.dc)))
@@ -243,11 +286,25 @@ func (s *SRR) Restore(st State) {
 	s.round = st.Round
 	s.began = st.Began
 	copy(s.dc, st.Deficits)
+	if st.Disabled != nil {
+		if len(st.Disabled) != len(s.disabled) {
+			panic(fmt.Sprintf("sched: Restore with %d-slot mask into %d-channel SRR", len(st.Disabled), len(s.disabled)))
+		}
+		copy(s.disabled, st.Disabled)
+		s.activeN = 0
+		for _, d := range s.disabled {
+			if !d {
+				s.activeN++
+			}
+		}
+	}
 }
 
 // Reset reinitialises the automaton to its start state s0: all deficit
 // counters zero, pointer at channel 0, round 0. Both ends run Reset when
-// a Reset packet is exchanged (crash recovery, Section 5).
+// a Reset packet is exchanged (crash recovery, Section 5). Membership is
+// deliberately preserved: the epoch restarts over the same physical link
+// set, and both ends apply Reset with identical masks.
 func (s *SRR) Reset() {
 	for i := range s.dc {
 		s.dc[i] = 0
@@ -262,14 +319,18 @@ func (s *SRR) Reset() {
 // automaton to run the logical-reception simulation.
 func (s *SRR) Clone() *SRR {
 	return &SRR{
-		quanta: append([]int64(nil), s.quanta...),
-		dc:     append([]int64(nil), s.dc...),
-		cost:   s.cost,
-		cur:    s.cur,
-		round:  s.round,
-		began:  s.began,
+		quanta:   append([]int64(nil), s.quanta...),
+		dc:       append([]int64(nil), s.dc...),
+		cost:     s.cost,
+		cur:      s.cur,
+		round:    s.round,
+		began:    s.began,
+		disabled: append([]bool(nil), s.disabled...),
+		activeN:  s.activeN,
 	}
 }
+
+var _ Membership = (*SRR)(nil)
 
 var (
 	_ Scheduler  = (*SRR)(nil)

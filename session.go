@@ -25,8 +25,38 @@ type SessionConfig struct {
 	// MarkerInterval, when positive, cuts marker batches from a timer in
 	// addition to the round-based policy, so markers (and piggybacked
 	// credits) keep flowing when the data stream idles. Default 50ms;
-	// negative disables the timer.
+	// negative disables the timer (which also disables the health
+	// monitor's periodic checks).
 	MarkerInterval time.Duration
+	// Health tunes the channel health monitor; the zero value enables
+	// send-error eviction with defaults. See HealthConfig.
+	Health HealthConfig
+}
+
+// HealthConfig tunes the session's channel health monitor, which evicts
+// channels that are observably dead and reinstates them on recovery.
+// Eviction is a forced membership removal: the scheduler stops
+// selecting the channel, its outstanding credit is returned, the
+// receive side drains what arrived and declares the missing tail lost,
+// and the survivors carry the stream on. The zero value enables
+// send-error eviction with the defaults below.
+type HealthConfig struct {
+	// Disable turns the health monitor off entirely.
+	Disable bool
+	// EvictAfter is the consecutive transport-error streak on a channel
+	// (data, marker, or announcement sends) that triggers eviction.
+	// Default 8; negative disables error-based eviction.
+	EvictAfter int64
+	// MarkerSilence, when positive, evicts a channel that has been
+	// marker-silent for this long after having delivered at least one
+	// marker. Markers flow at a steady cadence on healthy channels, so
+	// prolonged silence means the receive direction is dead even when
+	// sends still succeed. Zero disables silence-based eviction.
+	MarkerSilence time.Duration
+	// ReinstateAfter is the consecutive successful probes (one per
+	// marker-timer tick) after which an evicted channel is re-admitted.
+	// Default 3; negative disables automatic reinstatement.
+	ReinstateAfter int
 }
 
 // Session is one end of a duplex striped connection: a Sender for this
@@ -47,6 +77,16 @@ type Session struct {
 	mgr    *flowcontrol.Manager
 	col    *Collector
 
+	// Membership and health state (guarded by mu).
+	n          int
+	window     int64
+	quanta     []int64
+	autoMaxBuf bool // MaxBuffered was derived; recompute it on membership changes
+	health     HealthConfig
+	evicted    []bool      // health-evicted, candidates for automatic reinstatement
+	probeOK    []int       // consecutive successful probes per evicted channel
+	lastMarker []time.Time // last marker arrival per channel, for silence detection
+
 	closed chan struct{}
 	once   sync.Once
 }
@@ -61,6 +101,14 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 	s := &Session{closed: make(chan struct{}), col: cfg.Collector}
 	s.txCond = sync.NewCond(&s.mu)
 	s.rxCond = sync.NewCond(&s.mu)
+	s.n = n
+	s.window = cfg.CreditWindow
+	s.quanta = append([]int64(nil), cfg.Quanta...)
+	s.health = cfg.Health
+	s.evicted = make([]bool, n)
+	s.probeOK = make([]int, n)
+	s.lastMarker = make([]time.Time, n)
+	s.autoMaxBuf = cfg.MaxBuffered == 0 && cfg.CreditWindow > 0
 
 	// Receive side first: the credit manager reads its drain counters.
 	maxBuf := cfg.MaxBuffered
@@ -88,6 +136,10 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 			}
 			s.txCond.Broadcast()
 		},
+		// Invoked from the receive path with s.mu already held: mirror the
+		// peer's announced membership onto this end's transmit side, so
+		// either end removing a channel retires the full duplex link.
+		OnMembership: func(c int, joined bool) { s.onPeerMembership(c, joined) },
 	}
 	if cfg.Mode == ModeLogical {
 		sc, err := cfg.sched()
@@ -152,6 +204,7 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 					Granted:  sent + gate.Remaining(c),
 					Consumed: sent,
 					Window:   window,
+					Retired:  gate.Retired(c),
 				}
 			}
 			return accts
@@ -183,6 +236,7 @@ func (s *Session) markerTimer(interval time.Duration) {
 		case <-t.C:
 			s.mu.Lock()
 			s.st.EmitMarkers()
+			s.healthTick()
 			s.mu.Unlock()
 		}
 	}
@@ -193,6 +247,11 @@ var ErrSessionClosed = errors.New("stripe: session closed")
 
 // Send stripes one packet toward the peer, blocking while flow control
 // holds the selected channel (credits arrive on the peer's markers).
+// Transport failures on one channel are retried: the failing channel's
+// error streak grows until the health monitor's threshold evicts it,
+// after which the packet goes out on a survivor. Send only returns a
+// transport error once no eviction can absorb it (health monitoring
+// disabled, or down to the last channel).
 func (s *Session) Send(p *Packet) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -205,14 +264,25 @@ func (s *Session) Send(p *Packet) error {
 		default:
 		}
 		err := s.st.Send(p)
-		if err != core.ErrGated {
-			s.noteStall(stalled)
-			return err
+		if err == core.ErrGated {
+			if s.col != nil && stalled.IsZero() {
+				stalled = time.Now()
+			}
+			s.txCond.Wait()
+			continue
 		}
-		if s.col != nil && stalled.IsZero() {
-			stalled = time.Now()
+		var cse *core.ChannelSendError
+		if errors.As(err, &cse) && s.evictThreshold() > 0 && s.st.ActiveN() > 1 {
+			// The failed send was not accounted to the scheduler, so the
+			// retry targets the same channel until its streak trips the
+			// eviction threshold; after eviction it goes to a survivor.
+			if s.st.ErrStreak(cse.Channel) >= s.evictThreshold() {
+				s.evictLocked(cse.Channel, s.st.ErrStreak(cse.Channel))
+			}
+			continue
 		}
-		s.txCond.Wait()
+		s.noteStall(stalled)
+		return err
 	}
 }
 
@@ -237,7 +307,8 @@ func (s *Session) Arrive(c int, p *Packet) {
 	// are monotone, so reading them early is safe, and it keeps the
 	// transmit side live even when the application is slow to Recv.
 	if p.Kind == KindMarker {
-		if m, err := packet.MarkerOf(p); err == nil && int(m.Channel) == c {
+		if m, err := packet.MarkerOf(p); err == nil && int(m.Channel) == c && c >= 0 && c < s.n {
+			s.lastMarker[c] = time.Now()
 			// Reconcile before the resequencer sees the marker: right now
 			// the per-channel FIFO guarantees every data byte the peer
 			// sent before cutting this marker has either arrived or is
@@ -338,4 +409,223 @@ func (s *Session) CreditRemaining(c int) int64 {
 		return 0
 	}
 	return s.gate.Remaining(c)
+}
+
+// --- Dynamic membership -------------------------------------------------
+
+// ActiveChannels returns the number of channels currently in this end's
+// transmit live set.
+func (s *Session) ActiveChannels() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.ActiveN()
+}
+
+// ChannelState reports channel c's lifecycle state on this end's
+// transmit side and receive side. The two can differ transiently while
+// a membership change propagates (for example tx removed, rx still
+// draining the peer's in-flight tail).
+func (s *Session) ChannelState(c int) (tx, rx MemberState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Member(c), s.rs.MemberState(c)
+}
+
+// RemoveChannel gracefully retires channel c from this end's transmit
+// set: a final marker batch fixes the channel's position, the departure
+// is announced to the peer (which mirrors it onto its own transmit
+// side), outstanding credit is returned, and the survivors carry the
+// stream on with the fairness band re-formed over them. The receive
+// side of c keeps draining the peer's in-flight tail in order and
+// retires once the peer's mirrored removal completes. The last active
+// channel cannot be removed.
+func (s *Session) RemoveChannel(c int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.removeTxLocked(c)
+	if err == nil && c >= 0 && c < s.n {
+		// Manual removals are not reinstatement candidates.
+		s.evicted[c] = false
+	}
+	return err
+}
+
+// AddChannel (re)admits channel c into this end's transmit set,
+// optionally replacing its transport with tx (nil reuses the existing
+// one). The join is announced to the peer, which re-admits its receive
+// side at the announced join round and mirrors the join onto its own
+// transmit side, restoring the full duplex link; FIFO delivery over the
+// grown set resumes within one marker period.
+func (s *Session) AddChannel(c int, tx ChannelSender) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.admitTxLocked(c, tx)
+}
+
+// removeTxLocked retires c from the transmit set and tears down its
+// flow-control account. Caller holds s.mu.
+func (s *Session) removeTxLocked(c int) error {
+	if err := s.st.RemoveChannel(c); err != nil {
+		return err
+	}
+	var returned int64
+	if s.gate != nil {
+		// Teardown returns the outstanding grant; the account is frozen at
+		// granted == consumed so the conservation checker sees no leak.
+		returned = s.gate.Retire(c)
+	}
+	s.col.OnMemberDrain(c, s.st.Round(), returned)
+	s.recomputeMaxBufLocked()
+	// Senders parked on the removed channel's credit must re-Select.
+	s.txCond.Broadcast()
+	return nil
+}
+
+// admitTxLocked (re)admits c into the transmit set with a fresh credit
+// window. Caller holds s.mu.
+func (s *Session) admitTxLocked(c int, tx ChannelSender) error {
+	wasActive := s.st.Member(c) == core.MemberActive
+	join, err := s.st.AddChannel(c, tx)
+	if err != nil {
+		return err
+	}
+	if wasActive {
+		return nil // transport swap only
+	}
+	if s.gate != nil {
+		s.gate.Readmit(c)
+	}
+	s.evicted[c] = false
+	s.probeOK[c] = 0
+	s.lastMarker[c] = time.Time{} // silence detection restarts at the first marker
+	// Flush the batched byte counters first so the fairness baseline
+	// rebases to an exact byte position.
+	s.st.SyncObs()
+	s.col.RebaseFairness(c, join)
+	s.col.OnMemberJoin(c, join)
+	s.recomputeMaxBufLocked()
+	s.txCond.Broadcast()
+	return nil
+}
+
+// onPeerMembership mirrors the peer's announced membership onto this
+// end's transmit side, so one end's removal (or join) retires or
+// restores the full duplex link. The mirror terminates: re-applying an
+// already-applied transition is a no-op and triggers no announcement.
+// Invoked by the resequencer with s.mu held.
+func (s *Session) onPeerMembership(c int, joined bool) {
+	if joined {
+		if s.st.Member(c) == core.MemberRemoved {
+			_ = s.admitTxLocked(c, nil)
+		}
+		return
+	}
+	if s.st.Member(c) == core.MemberActive {
+		_ = s.removeTxLocked(c)
+	}
+}
+
+// evictLocked force-removes channel c after the health monitor (or the
+// Send retry loop) observed it dead: transmit removal plus local
+// receive-side retirement — a dead link will never complete the
+// peer-mirrored drain, and the missing tail is declared lost so the
+// stream resumes FIFO on the survivors. Caller holds s.mu.
+func (s *Session) evictLocked(c int, value int64) {
+	if s.removeTxLocked(c) != nil {
+		return
+	}
+	_ = s.rs.RemoveChannel(c)
+	s.evicted[c] = true
+	s.probeOK[c] = 0
+	s.col.OnMemberEvict(c, value)
+}
+
+// evictThreshold returns the effective consecutive-error eviction
+// threshold (0 = eviction disabled).
+func (s *Session) evictThreshold() int64 {
+	if s.health.Disable {
+		return 0
+	}
+	switch {
+	case s.health.EvictAfter > 0:
+		return s.health.EvictAfter
+	case s.health.EvictAfter < 0:
+		return 0
+	default:
+		return 8
+	}
+}
+
+// reinstateThreshold returns the effective probe streak for automatic
+// reinstatement (0 = disabled).
+func (s *Session) reinstateThreshold() int {
+	if s.health.Disable {
+		return 0
+	}
+	switch {
+	case s.health.ReinstateAfter > 0:
+		return s.health.ReinstateAfter
+	case s.health.ReinstateAfter < 0:
+		return 0
+	default:
+		return 3
+	}
+}
+
+// healthTick runs the periodic health checks: error-streak and
+// marker-silence eviction for active channels, liveness probes and
+// reinstatement for evicted ones. Runs on the marker timer with s.mu
+// held.
+func (s *Session) healthTick() {
+	if s.health.Disable {
+		return
+	}
+	now := time.Now()
+	for c := 0; c < s.n; c++ {
+		switch {
+		case s.st.Member(c) == core.MemberActive:
+			if s.st.ActiveN() <= 1 {
+				continue // never evict the last channel
+			}
+			if ea := s.evictThreshold(); ea > 0 && s.st.ErrStreak(c) >= ea {
+				s.evictLocked(c, s.st.ErrStreak(c))
+				continue
+			}
+			if s.health.MarkerSilence > 0 && !s.lastMarker[c].IsZero() {
+				if sil := now.Sub(s.lastMarker[c]); sil > s.health.MarkerSilence {
+					s.evictLocked(c, int64(sil))
+				}
+			}
+		case s.evicted[c] && s.reinstateThreshold() > 0:
+			// Probe the evicted channel with an idempotent status
+			// announcement; a streak of successful sends is the recovery
+			// signal.
+			if s.st.ProbeChannel(c) == nil {
+				if s.probeOK[c]++; s.probeOK[c] >= s.reinstateThreshold() {
+					if s.admitTxLocked(c, nil) == nil {
+						s.col.OnMemberReinstate(c)
+					}
+				}
+			} else {
+				s.probeOK[c] = 0
+			}
+		}
+	}
+}
+
+// recomputeMaxBufLocked re-derives the resequencer's buffer cap for the
+// current live set when the cap was derived (not explicitly
+// configured): a smaller live set legitimately buffers less, and a
+// grown one needs headroom back. Caller holds s.mu.
+func (s *Session) recomputeMaxBufLocked() {
+	if !s.autoMaxBuf {
+		return
+	}
+	live := make([]int64, 0, s.n)
+	for c := 0; c < s.n; c++ {
+		if s.st.Member(c) == core.MemberActive {
+			live = append(live, s.quanta[c])
+		}
+	}
+	s.rs.SetMaxBuffered(DefaultMaxBuffered(len(live), s.window, live))
 }

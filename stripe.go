@@ -23,7 +23,30 @@ const (
 	KindMarker = packet.Marker
 	KindCredit = packet.Credit
 	KindReset  = packet.Reset
+	KindMember = packet.Member
 )
+
+// MemberState is one channel slot's position in the membership
+// lifecycle (active → draining → removed, and back via AddChannel).
+type MemberState = core.MemberState
+
+// Membership lifecycle states.
+const (
+	MemberActive   = core.MemberActive
+	MemberDraining = core.MemberDraining
+	MemberRemoved  = core.MemberRemoved
+)
+
+// ErrNoActiveChannels is returned by Send once every channel has been
+// removed from the live set.
+var ErrNoActiveChannels = core.ErrNoActiveChannels
+
+// ErrLastChannel is returned when a removal would empty the live set.
+var ErrLastChannel = core.ErrLastChannel
+
+// ChannelSendError wraps a transport failure with the channel it
+// occurred on; unwrap with errors.As to react per channel.
+type ChannelSendError = core.ChannelSendError
 
 // MarkerPolicy controls periodic synchronization markers; see
 // core.MarkerPolicy. Every is in rounds; Position is the channel index
