@@ -188,7 +188,7 @@ func BenchmarkSenderPublicAPI(b *testing.B) {
 // acceptance bar for the layer is <5% overhead with a collector
 // attached.
 func BenchmarkInstrumentationOverhead(b *testing.B) {
-	for _, name := range []string{"nil", "collector", "collector+sink", "collector+tracer"} {
+	for _, name := range []string{"nil", "collector", "collector+sink", "collector+tracer", "collector+tracer+windows"} {
 		b.Run(name, func(b *testing.B) {
 			const nch = 4
 			quanta := sched.UniformQuanta(nch, 1500)
@@ -210,6 +210,15 @@ func BenchmarkInstrumentationOverhead(b *testing.B) {
 				// configuration the <5% overhead budget applies to.
 				col := obs.NewCollector(nch)
 				col.SetTracer(obs.NewTracer(obs.TracerConfig{}))
+				cfg.Obs = col
+			case "collector+tracer+windows":
+				// The full pipeline with the windowed rollup attached:
+				// folds are amortized over the flush tick (the hot path
+				// pays one atomic deadline check), so this row must stay
+				// within 7% of collector-only.
+				col := obs.NewCollector(nch)
+				col.SetTracer(obs.NewTracer(obs.TracerConfig{}))
+				obs.NewWindows(col, obs.WindowConfig{})
 				cfg.Obs = col
 			}
 			st, err := core.NewStriper(cfg)

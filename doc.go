@@ -84,6 +84,21 @@
 // each. All of it is nil-safe: with no Collector configured the hot
 // path pays a single pointer test.
 //
+// For rates and per-channel health rather than cumulative totals,
+// attach a windowed rollup:
+//
+//	stripe.NewWindows(col, stripe.WindowConfig{}) // 1s tick, 1s/10s/60s spans
+//
+// Counter deltas fold into ring-buffered windows on the engine's flush
+// tick (no per-packet cost) and publish per-channel goodput, loss and
+// resync fractions, send-latency EWMAs, marker-spread delay skew, and
+// a composable 0-100 HealthScore with reason codes. Serve adds the
+// rolled-up view at /debug/stripe/health and windowed stripe_*_rate /
+// stripe_channel_health gauges to /metrics; cmd/stripetop renders it
+// live in a terminal. Sessions can consume the score as evidence-based
+// eviction (HealthConfig.ScoreEvictBelow) — it catches silently lossy
+// channels whose Send never errors and so never build an error streak.
+//
 // The internal packages implement every substrate of the paper's
 // evaluation (schedulers, impaired channels, the strIPe IP framework, a
 // discrete-event simulator with a Reno-style TCP, baselines, and the

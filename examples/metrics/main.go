@@ -37,6 +37,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -88,6 +89,16 @@ func main() {
 	colA.SetChecker(checker)
 	recorder := stripe.NewFlightRecorder(colA, stripe.FlightRecorderConfig{})
 	colA.AddSink(recorder)
+	// Windowed rollups on both ends: counter deltas fold into short
+	// windows on the engine flush, giving per-channel rates, loss
+	// fractions, and 0-100 health scores at /debug/stripe/health and as
+	// stripe_channel_health / stripe_*_rate gauges under /metrics.
+	wcfg := stripe.WindowConfig{
+		Tick:  250 * time.Millisecond,
+		Spans: []time.Duration{time.Second, 10 * time.Second},
+	}
+	stripe.NewWindows(colA, wcfg)
+	stripe.NewWindows(colB, wcfg)
 
 	cfg := stripe.SessionConfig{
 		Config: stripe.Config{
@@ -218,6 +229,7 @@ func main() {
 			"stripe_channel_bytes_total", "stripe_markers_total",
 			"stripe_resync_events_total", "stripe_fairness_",
 			"stripe_reseq_buffered_high_water", "stripe_channel_lost_packets_total",
+			"stripe_channel_health", "stripe_channel_loss_rate",
 		} {
 			if strings.HasPrefix(line, want) {
 				fmt.Println("  " + line)
@@ -233,6 +245,30 @@ func main() {
 	bound := vals[`stripe_fairness_bound_bytes{session="alice"}`]
 	fmt.Printf("\nfairness: |K*Quantum - bytes| = %d <= bound %d (Theorem 3.2): %v\n",
 		disc, bound, disc <= bound)
+
+	// The windowed health view, fetched the way stripetop does.
+	hresp, err := http.Get("http://" + srv.Addr() + "/debug/stripe/health")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var health struct{ Sessions []stripe.HealthReport }
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		log.Fatal(err)
+	}
+	hresp.Body.Close()
+	fmt.Println("windowed health (/debug/stripe/health):")
+	for _, s := range health.Sessions {
+		if s.Windows == nil {
+			continue
+		}
+		for _, h := range s.Windows.Health {
+			reasons := ""
+			if len(h.Reasons) > 0 {
+				reasons = "  (" + strings.Join(h.Reasons, ",") + ")"
+			}
+			fmt.Printf("  %s ch%d: score %d/100%s\n", s.Session, h.Channel, h.Score, reasons)
+		}
+	}
 
 	snap := bob.Snapshot()
 	fmt.Printf("bob: resequencer high-water %d pkts, events %v\n",

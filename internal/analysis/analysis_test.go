@@ -185,3 +185,42 @@ func TestHotSetTransitivity(t *testing.T) {
 		t.Errorf("escape frontier incomplete: %v", escaped)
 	}
 }
+
+// TestObsFoldPathIsHot pins the windowed-rollup flush discipline to
+// the analyzer, not just to code review: Windows.maybeFold (the
+// per-flush deadline check) must be in the module's hot set — so the
+// hotpath pass proves the fold path allocation- and lock-free on every
+// run — with the fold itself reached transitively and only the
+// snapshot-publishing tail escaping through its annotated hatch.
+func TestObsFoldPathIsHot(t *testing.T) {
+	prog, mod := sharedProgram(t)
+	var obsPkg *Package
+	for _, p := range mod {
+		if p.Path == "stripe/internal/obs" {
+			obsPkg = p
+		}
+	}
+	if obsPkg == nil {
+		t.Fatal("module load missing stripe/internal/obs")
+	}
+	hot, escapes := hotSet(prog, []*Package{obsPkg})
+	names := make(map[string]bool)
+	for fn := range hot {
+		names[fn.Name()] = true
+	}
+	for _, want := range []string{"maybeFold", "fold"} {
+		if !names[want] {
+			t.Errorf("rollup fold path %s not in the hot set; the flush discipline is unenforced", want)
+		}
+	}
+	escaped := make(map[string]bool)
+	for _, hf := range escapes {
+		escaped[hf.fn.Name()] = true
+	}
+	if !escaped["publish"] {
+		t.Errorf("Windows.publish should escape via its allowescape hatch, not run hot")
+	}
+	if names["publish"] {
+		t.Errorf("Windows.publish leaked into the hot set past its allowescape annotation")
+	}
+}

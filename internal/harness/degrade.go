@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"time"
+
+	"stripe/internal/channel"
+	"stripe/internal/obs"
+)
+
+// The degrading-channel scenario: one channel of the bundle decays
+// under a heavy Gilbert–Elliott burst-loss process while the rest stay
+// nearly clean, and the question is which monitor notices. The
+// error-streak rule cannot — an impaired in-process channel drops
+// silently, so Send never errors and the streak stays at zero — but
+// the windowed health score sees the loss evidence (credit write-offs,
+// resync storms) and flags the channel with a loss/resync reason code.
+// This is the acceptance scenario for evidence-based eviction:
+// score-based detection fires while streak-based eviction never would.
+
+// DegradeErrStreakThreshold is the session health monitor's default
+// error-streak eviction threshold the scenario compares against.
+const DegradeErrStreakThreshold = 8
+
+// DegradeScoreThreshold is the health-score bar the degraded channel
+// must fall below (and the clean channels must stay well above).
+const DegradeScoreThreshold = 60
+
+// DegradePlan returns the scenario's fault schedule: every channel at
+// 1% i.i.d. loss with mild jitter, channel 1 additionally under a
+// Gilbert–Elliott process that spends half its time in a 90%-loss bad
+// state (~46% effective loss) — a link that is dying, not flapping.
+func DegradePlan(nch int) FaultPlan {
+	plan := FaultPlan{Channels: make([]ChannelFaults, nch)}
+	for i := range plan.Channels {
+		plan.Channels[i].Loss = 0.01
+		plan.Channels[i].Jitter = 2
+	}
+	if nch > 1 {
+		plan.Channels[1].Burst = channel.GilbertElliott{
+			PGoodToBad: 0.06, PBadToGood: 0.06, BadLoss: 0.9,
+		}
+	}
+	return plan
+}
+
+// DegradeOutcome is the result of one degrading-channel run.
+type DegradeOutcome struct {
+	Report FaultReport
+	// Windows is the final rollup; Scores its per-channel health
+	// scores (Scores[1] is the degraded channel).
+	Windows *obs.WindowsSnapshot
+	Scores  []obs.HealthScore
+}
+
+// RunDegrade drives the degrading-channel scenario with windowed
+// telemetry attached and returns the final health scores alongside the
+// run report. The window tick is small so rollups fold during the run;
+// a forced final fold makes the returned scores cover the whole run
+// regardless of wall-clock speed.
+func RunDegrade(cfg Config) DegradeOutcome {
+	const nch = 4
+	const window = 64 * 1024
+	const bufCap = 512
+	total := 6000
+	if cfg.Quick {
+		total = 2000
+	}
+	plan := DegradePlan(nch)
+	col := obs.NewCollector(nch)
+	tracer := obs.NewTracer(obs.TracerConfig{Sample: 1})
+	col.SetTracer(tracer)
+	w := obs.NewWindows(col, obs.WindowConfig{
+		Tick:  5 * time.Millisecond,
+		Spans: []time.Duration{30 * time.Second},
+	})
+	rep := RunFaults(plan, cfg.Seed+2, window, bufCap, total, true, col)
+	w.Fold()
+	snap := w.Latest()
+	return DegradeOutcome{Report: rep, Windows: snap, Scores: snap.Health}
+}

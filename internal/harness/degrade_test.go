@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDegradeHealthScoreFlagsBeforeErrStreak is the acceptance
+// assertion for evidence-based eviction: under the degrading-channel
+// scenario the windowed health score flags the Gilbert-Elliott-
+// impaired channel (score below threshold, with a loss or resync
+// reason code) while the error-streak rule's trigger never moves —
+// impaired in-process channels drop silently, so the streak a session
+// would evict on stays at zero, far from its threshold of 8.
+func TestDegradeHealthScoreFlagsBeforeErrStreak(t *testing.T) {
+	out := RunDegrade(Config{Seed: 7, Quick: true})
+	if out.Report.Stalled {
+		t.Fatalf("degrade run stalled: %+v", out.Report)
+	}
+	if out.Windows == nil || len(out.Scores) != 4 {
+		t.Fatalf("no windowed rollup: %+v", out.Windows)
+	}
+
+	// The error-streak rule has seen nothing: score-based detection is
+	// strictly earlier than streak-based eviction here.
+	if out.Report.MaxErrStreak != 0 {
+		t.Fatalf("expected silent loss (err streak 0), got %d", out.Report.MaxErrStreak)
+	}
+
+	deg := out.Scores[1]
+	if deg.Score >= DegradeScoreThreshold {
+		t.Fatalf("degraded channel scored %d, want < %d (rates %+v)",
+			deg.Score, DegradeScoreThreshold, out.Windows.ScoreWindow().Channels[1])
+	}
+	hasEvidence := false
+	for _, r := range deg.Reasons {
+		if r == "loss" || r == "resync" || r == "latency" {
+			hasEvidence = true
+		}
+	}
+	if !hasEvidence {
+		t.Fatalf("degraded channel lacks a loss/resync/latency reason: %v", deg.Reasons)
+	}
+
+	// The clean channels must stay comfortably above the bar: the score
+	// separates the degraded channel instead of condemning the bundle.
+	for _, c := range []int{0, 2, 3} {
+		if s := out.Scores[c]; s.Score < 80 {
+			t.Fatalf("clean channel %d scored %d (%s), want >= 80",
+				c, s.Score, strings.Join(s.Reasons, ","))
+		}
+	}
+
+	// The windowed loss estimate on the degraded channel must reflect
+	// the ~35% effective Gilbert-Elliott loss, not the 1% baseline.
+	sp := out.Windows.ScoreWindow()
+	if lf := sp.Channels[1].LossFrac; lf < 0.15 {
+		t.Fatalf("degraded channel loss frac %.3f, want >= 0.15", lf)
+	}
+	for _, c := range []int{0, 2, 3} {
+		if lf := sp.Channels[c].LossFrac; lf > 0.10 {
+			t.Fatalf("clean channel %d loss frac %.3f, want <= 0.10", c, lf)
+		}
+	}
+}

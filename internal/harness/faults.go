@@ -107,6 +107,7 @@ type FaultReport struct {
 	LostReconciled int64 // bytes written off as lost and re-granted
 	Overflows      int64 // resequencer overflow escalations
 	Stalled        bool  // the sender wedged permanently on credits
+	MaxErrStreak   int64 // worst per-channel consecutive transport-error streak
 }
 
 // stallPatience is how many consecutive gated send attempts — each with
@@ -226,6 +227,7 @@ func RunFaults(plan FaultPlan, seed int64, w int64, maxBuffered, total int, reco
 				rep.MaxBuffered = maxInt64(rep.MaxBuffered, int64(rs.Buffered()))
 				rep.Overflows = rs.Stats().Overflows
 				rep.LostReconciled = lostTotal(mgr, nch)
+				rep.MaxErrStreak = maxErrStreak(st, nch)
 				return rep
 			}
 		default:
@@ -286,7 +288,20 @@ func RunFaults(plan FaultPlan, seed int64, w int64, maxBuffered, total int, reco
 	rep.MaxBuffered = maxInt64(rep.MaxBuffered, int64(rs.Buffered()))
 	rep.Overflows = rs.Stats().Overflows
 	rep.LostReconciled = lostTotal(mgr, nch)
+	rep.MaxErrStreak = maxErrStreak(st, nch)
 	return rep
+}
+
+// maxErrStreak is the worst per-channel consecutive transport-error
+// streak at the end of a run — the signal the session's error-streak
+// eviction rule watches. Impaired in-process queues drop silently
+// (Send never errors), so this stays at zero however lossy the plan:
+// exactly the blindness the windowed health score exists to cover.
+func maxErrStreak(st *core.Striper, nch int) (worst int64) {
+	for c := 0; c < nch; c++ {
+		worst = maxInt64(worst, st.ErrStreak(c))
+	}
+	return worst
 }
 
 // fmtNs renders a nanosecond latency with time.Duration units.
@@ -407,6 +422,25 @@ func runFaults(cfg Config) *Result {
 	quant("reseq delay", ts.ReseqDelay)
 	quant("head-of-line", ts.HeadOfLine)
 	quant("end-to-end", ts.EndToEnd)
+
+	// Degrading-channel scenario: windowed health scoring flags the
+	// Gilbert-Elliott-impaired channel while the error-streak rule —
+	// blind to silent drops — never moves off zero.
+	deg := RunDegrade(cfg)
+	fmt.Fprintln(&b, "\n# Degrading channel: ch1 under heavy Gilbert-Elliott burst loss, the")
+	fmt.Fprintln(&b, "# rest ~1% i.i.d. Windowed health scores vs the error-streak rule:")
+	fmt.Fprintln(&b, row("channel", "health", "loss frac", "resyncs/marker", "reasons"))
+	sp := deg.Windows.ScoreWindow()
+	for _, h := range deg.Scores {
+		c := sp.Channels[h.Channel]
+		fmt.Fprintln(&b, row(fmt.Sprintf("ch%d", h.Channel),
+			fmt.Sprintf("%d", h.Score),
+			fmt.Sprintf("%.3f", c.LossFrac),
+			fmt.Sprintf("%.2f", c.ResyncFrac),
+			strings.Join(h.Reasons, ",")))
+	}
+	fmt.Fprintf(&b, "# score flags ch1 (<%d) while max error streak is %d (eviction needs %d)\n",
+		DegradeScoreThreshold, deg.Report.MaxErrStreak, DegradeErrStreakThreshold)
 
 	tb := &stats.Table{Title: "Credit reconciliation under 20% loss", XLabel: "reconcile(0=off,1=on)", YLabel: "packets sent", X: []float64{0, 1}}
 	tb.AddColumn("sent", []float64{float64(before.Sent), float64(after.Sent)})

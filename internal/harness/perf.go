@@ -137,6 +137,20 @@ func RunPerf(cfg Config) PerfReport {
 	col.SetTracer(tracer)
 	pipeline("pipeline_traced", col)
 
+	// The fully instrumented pipeline: collector, every-packet tracer,
+	// and the windowed rollup folding on a short tick while traffic
+	// flows. This is the row CI watches to keep the windowed overhead
+	// honest — folds amortize over the tick, so it must track
+	// pipeline_traced, not fall off a cliff.
+	wcol := obs.NewCollector(nch)
+	wtracer := obs.NewTracer(obs.TracerConfig{Sample: 1})
+	wcol.SetTracer(wtracer)
+	obs.NewWindows(wcol, obs.WindowConfig{
+		Tick:  100 * time.Millisecond,
+		Spans: []time.Duration{time.Second, 10 * time.Second},
+	})
+	pipeline("pipeline_windowed", wcol)
+
 	ts := tracer.Snapshot()
 	quant := func(h obs.HistogramSnapshot) map[string]int64 {
 		return map[string]int64{

@@ -227,12 +227,16 @@ func (c *Collector) SetCreditSource(src CreditSource) {
 	c.creditSrc.Store(&src)
 }
 
-// RunChecks evaluates the attached invariant checker, if any. Engines
+// RunChecks evaluates the attached invariant checker, if any, and
+// gives the windowed-telemetry rollup its fold opportunity. Engines
 // call it at flush boundaries (marker cadence), under the same mutex
 // that guards the state the checker's CreditSource reads.
 func (c *Collector) RunChecks() {
 	if c == nil {
 		return
+	}
+	if w := c.windows.Load(); w != nil {
+		w.maybeFold()
 	}
 	if k := c.checker.Load(); k != nil {
 		var src CreditSource

@@ -69,6 +69,10 @@ type TracerConfig struct {
 	Recent int
 }
 
+// maxLatChannels bounds the tracer's per-channel latency accumulators;
+// it matches the protocol's 64-slot channel universe.
+const maxLatChannels = 64
+
 // slot is one side-table entry. Fields are atomics because the
 // transmit and receive paths may stamp from different goroutines.
 type slot struct {
@@ -98,6 +102,13 @@ type Tracer struct {
 	tracked atomic.Int64 // completed lifecycles folded into histograms
 	evicted atomic.Int64 // slots reused before delivery (loss or collision)
 	torn    atomic.Int64 // deliveries dropped: slot reused mid-read
+
+	// Per-channel end-to-end latency accumulators (sum/count of
+	// stripe -> deliver, ns) feeding the windowed-telemetry EWMAs.
+	// Fixed at the membership universe bound so delivery never indexes
+	// out of range.
+	latSumOn [maxLatChannels]atomic.Int64
+	latCntOn [maxLatChannels]atomic.Int64
 
 	mu     sync.Mutex
 	recent []PacketTrace
@@ -271,7 +282,12 @@ func (t *Tracer) onDeliver(key uint64, displacement int64) {
 	rec.DeliveredNs = now
 	t.tracked.Add(1)
 	if rec.StripedNs > 0 {
-		t.endToEnd.Observe(now - rec.StripedNs)
+		e2e := now - rec.StripedNs
+		t.endToEnd.Observe(e2e)
+		if ch := rec.Channel; ch >= 0 && int(ch) < maxLatChannels {
+			t.latSumOn[ch].Add(e2e)
+			t.latCntOn[ch].Add(1)
+		}
 		if rec.SentNs >= rec.StripedNs {
 			t.sendStall.Observe(rec.SentNs - rec.StripedNs)
 		}
@@ -306,12 +322,34 @@ func (t *Tracer) Recent() []PacketTrace {
 	if t == nil {
 		return nil
 	}
+	return t.AppendRecent(nil, 1<<31-1)
+}
+
+// AppendRecent appends up to max of the newest retained lifecycles to
+// dst (oldest first among those kept) and returns the extended slice.
+// Exporters reuse dst across scrapes so a polling loop does not
+// reallocate the copy every request.
+func (t *Tracer) AppendRecent(dst []PacketTrace, max int) []PacketTrace {
+	if t == nil || max <= 0 {
+		return dst
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]PacketTrace, 0, len(t.recent))
-	out = append(out, t.recent[t.next:]...)
-	out = append(out, t.recent[:t.next]...)
-	return out
+	n := len(t.recent)
+	skip := n - max
+	if skip < 0 {
+		skip = 0
+	}
+	// Oldest-first logical order is recent[next:] then recent[:next].
+	for _, part := range [2][]PacketTrace{t.recent[t.next:], t.recent[:t.next]} {
+		if skip >= len(part) {
+			skip -= len(part)
+			continue
+		}
+		dst = append(dst, part[skip:]...)
+		skip = 0
+	}
+	return dst
 }
 
 // TracerSnapshot is a point-in-time copy of the tracer's histograms

@@ -48,6 +48,7 @@ type chanCounters struct {
 	markersDrained  atomic.Int64 // markers consumed eagerly at arrival
 	reconciles      atomic.Int64 // credit reconciliations that wrote off loss
 	lostReconciled  atomic.Int64 // bytes written off as lost and re-granted
+	lastMarkerAt    atomic.Int64 // gauge: process-timebase ns of newest consumed marker
 
 	// Dynamic membership lifecycle (join/drain/evict/reinstate
 	// transitions observed on the channel; a session-level change fires
@@ -100,6 +101,7 @@ type Collector struct {
 	tracer    atomic.Pointer[Tracer]       // packet lifecycle tracing (lifecycle.go)
 	checker   atomic.Pointer[Checker]      // runtime invariant checks (invariants.go)
 	creditSrc atomic.Pointer[CreditSource] // credit ledgers for the checker
+	windows   atomic.Pointer[Windows]      // windowed telemetry rollup (window.go)
 
 	mu    sync.Mutex // guards sink attachment only
 	sinks atomic.Pointer[[]Sink]
@@ -343,7 +345,9 @@ func (c *Collector) OnMarkerConsumed(channel int) {
 	if c == nil || !c.inRange(channel) {
 		return
 	}
-	c.ch[channel].markersConsumed.Add(1)
+	cc := &c.ch[channel]
+	cc.markersConsumed.Add(1)
+	cc.lastMarkerAt.Store(sinceEpoch())
 }
 
 // OnBadMarker records a marker dropped as corrupt or mis-addressed.
@@ -672,6 +676,11 @@ type Snapshot struct {
 	// tracer is attached.
 	Lifecycle *TracerSnapshot `json:",omitempty"`
 
+	// Windows is the attached rollup engine's latest publication: the
+	// windowed per-channel rates and health scores. Nil when no Windows
+	// is attached or it has not folded yet.
+	Windows *WindowsSnapshot `json:",omitempty"`
+
 	// InvariantViolations counts invariant-checker findings; any nonzero
 	// value means a protocol theorem was observed broken at runtime.
 	// Violations holds the most recent findings, oldest first.
@@ -737,6 +746,9 @@ func (c *Collector) Snapshot() Snapshot {
 	if t := c.tracer.Load(); t != nil {
 		ts := t.Snapshot()
 		s.Lifecycle = &ts
+	}
+	if w := c.windows.Load(); w != nil {
+		s.Windows = w.Latest()
 	}
 	if ck := c.checker.Load(); ck != nil {
 		s.InvariantViolations = ck.ViolationCount()

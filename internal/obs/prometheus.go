@@ -292,6 +292,96 @@ func WritePrometheus(w io.Writer, cols ...*Collector) {
 	scalar("stripe_invariant_violations_total", "counter",
 		"Invariant-checker findings (Theorem 3.2 band, credit conservation, monotone rounds); any nonzero value is a protocol bug.",
 		func(s *Snapshot) int64 { return s.InvariantViolations })
+
+	// Windowed telemetry: present only on collectors with a Windows
+	// rollup attached that has folded at least once. All rates are
+	// derived over the rollup's scoring span.
+	fsample := func(name, base, labels string, v float64) {
+		fv := strconv.FormatFloat(v, 'g', -1, 64)
+		switch {
+		case base == "" && labels == "":
+			fmt.Fprintf(w, "%s %s\n", name, fv)
+		case base == "":
+			fmt.Fprintf(w, "%s{%s} %s\n", name, labels, fv)
+		case labels == "":
+			fmt.Fprintf(w, "%s{%s} %s\n", name, base, fv)
+		default:
+			fmt.Fprintf(w, "%s{%s,%s} %s\n", name, base, labels, fv)
+		}
+	}
+	windowed := func(name, typ, help string, emit func(base string, sp *WindowSpan, health []HealthScore)) {
+		wrote := false
+		for i := range snaps {
+			sp := snaps[i].Windows.ScoreWindow()
+			if sp == nil {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+				wrote = true
+			}
+			base := ""
+			if snaps[i].Name != "" {
+				base = `session="` + snaps[i].Name + `"`
+			}
+			emit(base, sp, snaps[i].Windows.Health)
+		}
+	}
+	chLabel := func(c int) string { return `channel="` + strconv.Itoa(c) + `"` }
+	windowed("stripe_channel_health", "gauge",
+		"Windowed per-channel health score: 100 clean, 0 dead (see obs.HealthScore).",
+		func(base string, sp *WindowSpan, health []HealthScore) {
+			for _, h := range health {
+				sample("stripe_channel_health", base, chLabel(h.Channel), int64(h.Score))
+			}
+		})
+	windowed("stripe_channel_bytes_rate", "gauge",
+		"Windowed goodput in bytes/s striped onto (tx) or delivered from (rx) each channel.",
+		func(base string, sp *WindowSpan, _ []HealthScore) {
+			for i := range sp.Channels {
+				c := &sp.Channels[i]
+				fsample("stripe_channel_bytes_rate", base, chLabel(c.Channel)+`,dir="tx"`, c.TxBytesPerSec)
+				fsample("stripe_channel_bytes_rate", base, chLabel(c.Channel)+`,dir="rx"`, c.RxBytesPerSec)
+			}
+		})
+	windowed("stripe_channel_loss_rate", "gauge",
+		"Windowed loss fraction per channel (0-1): channel drops or credit write-offs over transmit traffic.",
+		func(base string, sp *WindowSpan, _ []HealthScore) {
+			for i := range sp.Channels {
+				fsample("stripe_channel_loss_rate", base, chLabel(sp.Channels[i].Channel), sp.Channels[i].LossFrac)
+			}
+		})
+	windowed("stripe_channel_resync_rate", "gauge",
+		"Windowed marker resyncs per second per channel.",
+		func(base string, sp *WindowSpan, _ []HealthScore) {
+			for i := range sp.Channels {
+				fsample("stripe_channel_resync_rate", base, chLabel(sp.Channels[i].Channel), sp.Channels[i].ResyncsPerSec)
+			}
+		})
+	windowed("stripe_channel_send_latency_ewma_nanoseconds", "gauge",
+		"Smoothed sampled end-to-end latency of packets delivered off each channel (0 without a tracer).",
+		func(base string, sp *WindowSpan, _ []HealthScore) {
+			for i := range sp.Channels {
+				sample("stripe_channel_send_latency_ewma_nanoseconds", base, chLabel(sp.Channels[i].Channel), sp.Channels[i].LatencyEWMA)
+			}
+		})
+	windowed("stripe_channel_delay_skew_nanoseconds", "gauge",
+		"Inter-channel one-way-delay skew estimate: lag of each channel's newest marker behind the freshest channel's.",
+		func(base string, sp *WindowSpan, _ []HealthScore) {
+			for i := range sp.Channels {
+				sample("stripe_channel_delay_skew_nanoseconds", base, chLabel(sp.Channels[i].Channel), sp.Channels[i].DelaySkew)
+			}
+		})
+	windowed("stripe_credit_stall_ratio", "gauge",
+		"Windowed fraction of wall-clock time senders spent blocked on exhausted credit.",
+		func(base string, sp *WindowSpan, _ []HealthScore) {
+			fsample("stripe_credit_stall_ratio", base, "", sp.Session.CreditStallFrac)
+		})
+	windowed("stripe_window_covered_seconds", "gauge",
+		"Time actually covered by the scoring window (shorter than the span during warmup).",
+		func(base string, sp *WindowSpan, _ []HealthScore) {
+			fsample("stripe_window_covered_seconds", base, "", sp.Covered.Seconds())
+		})
 }
 
 // WritePrometheus renders this collector alone; see the package-level
@@ -308,12 +398,58 @@ func (c *Collector) String() string {
 	return string(b)
 }
 
-var expvarMu sync.Mutex
+var (
+	expvarMu   sync.Mutex
+	expvarSets = map[string]*expvarSet{}
+)
+
+// expvarSet is the expvar.Var registered for one "stripe[.<name>]"
+// key. expvar.Publish panics on duplicate registration and offers no
+// replacement, so the set is registered once and every distinct
+// collector sharing the name renders through it: one collector as its
+// snapshot object, several as a JSON array. Without this, a second
+// session reusing a name would silently vanish from /debug/vars.
+type expvarSet struct {
+	mu   sync.Mutex
+	cols []*Collector
+}
+
+func (s *expvarSet) add(c *Collector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, have := range s.cols {
+		if have == c {
+			return
+		}
+	}
+	s.cols = append(s.cols, c)
+}
+
+// String renders the set as JSON, making it an expvar.Var.
+func (s *expvarSet) String() string {
+	s.mu.Lock()
+	cols := make([]*Collector, len(s.cols))
+	copy(cols, s.cols)
+	s.mu.Unlock()
+	if len(cols) == 1 {
+		return cols[0].String()
+	}
+	snaps := make([]Snapshot, len(cols))
+	for i, c := range cols {
+		snaps[i] = c.Snapshot()
+	}
+	b, err := json.Marshal(snaps)
+	if err != nil {
+		return "[]"
+	}
+	return string(b)
+}
 
 // PublishExpvar registers the collector under "stripe.<name>" (or
 // "stripe" when unnamed) in the process-wide expvar registry, making it
-// visible at /debug/vars. Re-publishing the same name replaces nothing
-// and is a no-op, so it is safe to call repeatedly.
+// visible at /debug/vars. Distinct collectors sharing one name are
+// published together as a JSON array; re-publishing the same collector
+// is a no-op, so it is safe to call repeatedly.
 func (c *Collector) PublishExpvar() {
 	if c == nil {
 		return
@@ -324,7 +460,13 @@ func (c *Collector) PublishExpvar() {
 	}
 	expvarMu.Lock()
 	defer expvarMu.Unlock()
-	if expvar.Get(name) == nil {
-		expvar.Publish(name, c)
+	set := expvarSets[name]
+	if set == nil {
+		set = &expvarSet{}
+		expvarSets[name] = set
+		if expvar.Get(name) == nil {
+			expvar.Publish(name, set)
+		}
 	}
+	set.add(c)
 }

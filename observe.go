@@ -141,6 +141,48 @@ func NewRingSink(n int) *RingSink { return obs.NewRingSink(n) }
 // event to w.
 func NewWriterSink(w io.Writer) *obs.WriterSink { return obs.NewWriterSink(w) }
 
+// Windows is the windowed-telemetry rollup engine: it folds the
+// collector's cumulative counters into ring-buffered sliding windows
+// (default 1s/10s/60s) of per-channel goodput, loss fraction, marker
+// resync rate, credit-stall fraction, send-latency EWMAs, and
+// inter-channel delay skew, plus a 0-100 HealthScore per channel.
+// Create with NewWindows; read the latest rollup with Windows.Latest
+// or Snapshot.Windows; the session health monitor consumes the scores
+// when HealthConfig.ScoreEvictBelow is set. Folding rides the engine
+// flush tick, never the per-packet path.
+type Windows = obs.Windows
+
+// WindowConfig sizes a Windows rollup; the zero value selects a 1s
+// tick with 1s/10s/60s spans, scored on the 10s span.
+type WindowConfig = obs.WindowConfig
+
+// NewWindows builds a rollup engine over c's counters and attaches it
+// to the collector. Returns nil when c is nil.
+func NewWindows(c *Collector, cfg WindowConfig) *Windows { return obs.NewWindows(c, cfg) }
+
+// WindowsSnapshot is one immutable rollup publication: every
+// configured span's rates plus per-channel health scores.
+type WindowsSnapshot = obs.WindowsSnapshot
+
+// WindowSpan is one sliding window's derived view.
+type WindowSpan = obs.WindowSpan
+
+// ChannelRates is one channel's windowed rates and fractions.
+type ChannelRates = obs.ChannelRates
+
+// SessionRates aggregates one window span across channels.
+type SessionRates = obs.SessionRates
+
+// HealthScore grades one channel 0 (dead) to 100 (clean) over the
+// rollup's scoring span, with reason codes ("loss", "resync", "stall",
+// "latency", "skew", "silence", "inactive") for every material
+// deduction.
+type HealthScore = obs.HealthScore
+
+// HealthReport is the /debug/stripe/health payload for one collector;
+// Collector.HealthReport assembles it and stripetop renders it.
+type HealthReport = obs.HealthReport
+
 // ReceiverStats are the receive-side protocol counters returned by
 // Receiver.Stats and Session.Stats; see doc.go for field meanings.
 type ReceiverStats = core.ResequencerStats

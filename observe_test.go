@@ -73,6 +73,7 @@ func TestServeEndpoints(t *testing.T) {
 	const nch = 2
 	col := NewNamedCollector("servetest", nch)
 	col.SetTracer(NewTracer(TracerConfig{Sample: 1}))
+	wins := NewWindows(col, WindowConfig{Tick: time.Hour, Spans: []time.Duration{time.Hour}})
 	g := channel.NewGroup(nch, channel.Impairments{})
 	tx, err := NewSender(g.Senders(), Config{
 		Quanta:    UniformQuanta(nch, 1500),
@@ -93,6 +94,9 @@ func TestServeEndpoints(t *testing.T) {
 		col.TraceArrive(key, int(key%nch))
 		col.TraceDeliver(key, 0)
 	}
+	// Fold the rollup so the windowed gauges and the health payload have
+	// a published snapshot to serve.
+	wins.Fold()
 
 	srv, err := Serve("127.0.0.1:0", col)
 	if err != nil {
@@ -125,6 +129,10 @@ func TestServeEndpoints(t *testing.T) {
 		`stripe_latency_reseq_nanoseconds_count{session="servetest"} 100`,
 		`stripe_trace_sample_period{session="servetest"} 1`,
 		`stripe_invariant_violations_total{session="servetest"} 0`,
+		`stripe_channel_health{session="servetest",channel="0"}`,
+		`stripe_channel_bytes_rate{session="servetest",channel="0",dir="tx"}`,
+		`stripe_credit_stall_ratio{session="servetest"}`,
+		`stripe_window_covered_seconds{session="servetest"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q\n%s", want, body)
@@ -143,6 +151,42 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if len(tr.TraceEvents) == 0 {
 		t.Fatal("/debug/stripe/trace has no events despite completed lifecycles")
+	}
+	// A second fetch exercises the server's reused dedup-set/buffer path
+	// and must return the same shape.
+	code, body2 := get("/debug/stripe/trace")
+	if code != http.StatusOK {
+		t.Fatalf("second /debug/stripe/trace status %d", code)
+	}
+	var tr2 struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body2), &tr2); err != nil {
+		t.Fatalf("second /debug/stripe/trace not valid JSON: %v", err)
+	}
+	if len(tr2.TraceEvents) != len(tr.TraceEvents) {
+		t.Fatalf("trace export not stable across fetches: %d then %d events",
+			len(tr.TraceEvents), len(tr2.TraceEvents))
+	}
+
+	code, body = get("/debug/stripe/health")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/stripe/health status %d", code)
+	}
+	var hr struct {
+		Sessions []HealthReport
+	}
+	if err := json.Unmarshal([]byte(body), &hr); err != nil {
+		t.Fatalf("/debug/stripe/health not valid JSON: %v\n%s", err, body)
+	}
+	if len(hr.Sessions) != 1 {
+		t.Fatalf("/debug/stripe/health has %d sessions, want 1", len(hr.Sessions))
+	}
+	if h := hr.Sessions[0]; h.Session != "servetest" || h.Channels != nch || h.ActiveChannels != nch {
+		t.Fatalf("health report wrong identity: %+v", h)
+	}
+	if h := hr.Sessions[0]; h.Windows == nil || len(h.Windows.Health) != nch {
+		t.Fatalf("health report missing windowed rollup: %+v", h.Windows)
 	}
 
 	code, body = get("/debug/vars")

@@ -57,6 +57,20 @@ type HealthConfig struct {
 	// marker-timer tick) after which an evicted channel is re-admitted.
 	// Default 3; negative disables automatic reinstatement.
 	ReinstateAfter int
+	// ScoreEvictBelow, when positive, adds evidence-based eviction from
+	// the windowed health score: an active channel whose HealthScore
+	// stays below this threshold (0-100) for ScoreStreak consecutive
+	// rollup windows is evicted. It catches channels that are degrading
+	// — heavy loss, resync storms, runaway latency — long before the
+	// error-streak rule, which only sees hard transport errors, would
+	// fire. Requires a Windows rollup attached to the session's
+	// Collector (stripe.NewWindows); without one this setting is inert.
+	// Zero disables score-based eviction.
+	ScoreEvictBelow int
+	// ScoreStreak is the number of consecutive below-threshold rollup
+	// windows required before a score eviction. Default 2; values below
+	// 1 select the default.
+	ScoreStreak int
 }
 
 // Session is one end of a duplex striped connection: a Sender for this
@@ -86,6 +100,8 @@ type Session struct {
 	evicted    []bool      // health-evicted, candidates for automatic reinstatement
 	probeOK    []int       // consecutive successful probes per evicted channel
 	lastMarker []time.Time // last marker arrival per channel, for silence detection
+	lowScore   []int       // consecutive below-threshold health-score windows
+	lastFoldAt int64       // AtNs of the newest rollup the score check consumed
 
 	closed chan struct{}
 	once   sync.Once
@@ -108,6 +124,7 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 	s.evicted = make([]bool, n)
 	s.probeOK = make([]int, n)
 	s.lastMarker = make([]time.Time, n)
+	s.lowScore = make([]int, n)
 	s.autoMaxBuf = cfg.MaxBuffered == 0 && cfg.CreditWindow > 0
 
 	// Receive side first: the credit manager reads its drain counters.
@@ -572,14 +589,55 @@ func (s *Session) reinstateThreshold() int {
 	}
 }
 
-// healthTick runs the periodic health checks: error-streak and
-// marker-silence eviction for active channels, liveness probes and
-// reinstatement for evicted ones. Runs on the marker timer with s.mu
-// held.
+// scoreTick runs the evidence-based eviction check: an active channel
+// whose windowed health score stays below HealthConfig.ScoreEvictBelow
+// for ScoreStreak consecutive rollup windows is evicted, with the
+// score as the eviction value. Each published rollup advances a
+// channel's streak at most once (the marker timer ticks faster than
+// the rollup folds). Caller holds s.mu.
+func (s *Session) scoreTick() {
+	threshold := s.health.ScoreEvictBelow
+	if threshold <= 0 {
+		return
+	}
+	snap := s.col.Windows().Latest()
+	if snap == nil || snap.AtNs == s.lastFoldAt {
+		return
+	}
+	s.lastFoldAt = snap.AtNs
+	streak := s.health.ScoreStreak
+	if streak < 1 {
+		streak = 2
+	}
+	for _, h := range snap.Health {
+		c := h.Channel
+		if c < 0 || c >= s.n {
+			continue
+		}
+		if s.st.Member(c) != core.MemberActive {
+			s.lowScore[c] = 0
+			continue
+		}
+		if h.Score >= threshold {
+			s.lowScore[c] = 0
+			continue
+		}
+		if s.lowScore[c]++; s.lowScore[c] >= streak && s.st.ActiveN() > 1 {
+			s.evictLocked(c, int64(h.Score))
+			s.lowScore[c] = 0
+		}
+	}
+}
+
+// healthTick runs the periodic health checks: error-streak,
+// marker-silence, and windowed-health-score eviction for active
+// channels, liveness probes and reinstatement for evicted ones. Runs
+// on the marker timer with s.mu held.
 func (s *Session) healthTick() {
 	if s.health.Disable {
 		return
 	}
+	s.scoreTick()
 	now := time.Now()
 	for c := 0; c < s.n; c++ {
 		switch {
