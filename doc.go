@@ -28,6 +28,27 @@
 // perfect FIFO without loss, quasi-FIFO under loss, resynchronizing
 // within roughly one marker period after losses stop.
 //
+// # Batching and the packet pool
+//
+// SendBatch/RecvBatch move packets in bulk: the session lock is taken
+// once per batch, the scheduler is consulted once per service run, and
+// TCP channels flush once per batch. The single-packet Send and Recv
+// are batches of one, so the two styles mix freely. The pool makes the
+// steady state allocation-free; its lifetime rules:
+//
+//   - GetPacket/GetPacketSized hand you exclusive ownership of a pooled
+//     packet and its payload backing array. Fill it, send it; after a
+//     successful SendBatch the packets belong to the session/transport.
+//   - Packets returned by Recv/RecvBatch are yours. Once the payload is
+//     consumed, hand each back with Packet.Release — after Release,
+//     neither the packet nor any slice of its payload may be touched,
+//     because the next Get anywhere in the process may reuse both.
+//   - Release is always optional: an unreleased packet is ordinary
+//     garbage, and correctness never depends on the pool.
+//   - Never Release a packet whose payload aliases memory you keep
+//     (e.g. one built with Data around an application buffer): Release
+//     donates the backing array to the pool.
+//
 // # Flow control and memory bounds
 //
 // Duplex Sessions piggyback credit-based flow control on markers. Each

@@ -36,6 +36,24 @@ type Sender interface {
 	Send(p *packet.Packet) error
 }
 
+// BatchSender is optionally implemented by channels that can accept a
+// vector of packets in one call, amortizing per-send overhead (one
+// buffered flush or syscall per batch where the transport allows — the
+// writev of the channel world). Senders that do not implement it are
+// driven packet-at-a-time by the batched striper, so implementing
+// BatchSender is purely an optimization, never a requirement.
+type BatchSender interface {
+	Sender
+	// SendBatch enqueues pkts in FIFO order and returns the number of
+	// packets the channel accepted; n < len(pkts) only alongside a
+	// non-nil error, and pkts[n:] were not accepted. A transport whose
+	// buffering makes the delivery of accepted packets uncertain after
+	// an error (a TCP flush that fails partway) still counts them as
+	// accepted: an accepted-but-dropped tail is indistinguishable from
+	// wire loss, which the striping protocol already recovers from.
+	SendBatch(pkts []*packet.Packet) (int, error)
+}
+
 // Receiver is the receive side of a FIFO channel.
 type Receiver interface {
 	// Recv dequeues the next packet. ok is false when nothing is
@@ -71,6 +89,12 @@ type GilbertElliott struct {
 
 func (g GilbertElliott) enabled() bool {
 	return g.PGoodToBad > 0 || g.BadLoss > 0 || g.GoodLoss > 0
+}
+
+// perfect reports whether the impairment config can never drop a
+// packet, so bulk paths may skip the per-packet error processes.
+func (im Impairments) perfect() bool {
+	return im.Loss <= 0 && im.Corrupt <= 0 && !im.Burst.enabled()
 }
 
 // Impairments configures the error processes of a channel. The zero
@@ -197,6 +221,31 @@ func (q *Queue) Send(p *packet.Packet) error {
 	q.buf = append(q.buf, p)
 	q.bytes += int64(p.Len())
 	return nil
+}
+
+// SendBatch implements BatchSender. A perfect unbounded queue (the
+// benchmark and happy-path test configuration) takes a bulk append —
+// one stats update and one copy for the whole batch; anything with an
+// error process or a capacity bound goes through Send per packet so
+// the impairment state machines observe every packet in order.
+func (q *Queue) SendBatch(pkts []*packet.Packet) (int, error) {
+	if q.open && q.cap == 0 && q.capBytes == 0 && q.imp.perfect() {
+		var by int64
+		for _, p := range pkts {
+			by += int64(p.Len())
+		}
+		q.buf = append(q.buf, pkts...)
+		q.bytes += by
+		q.stats.Sent += int64(len(pkts))
+		q.stats.SentBytes += by
+		return len(pkts), nil
+	}
+	for i, p := range pkts {
+		if err := q.Send(p); err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
 }
 
 // Recv implements Receiver.

@@ -227,6 +227,7 @@ func (st *Striper) AddChannel(c int, tx channel.Sender) (uint64, error) {
 	}
 	if tx != nil {
 		st.out[c] = tx
+		st.batchOut[c], _ = tx.(channel.BatchSender)
 	}
 	if st.active[c] {
 		if j := st.pendingJoin[c]; j != 0 {

@@ -552,6 +552,67 @@ func (r *Resequencer) Next() (*packet.Packet, bool) {
 	return p, ok
 }
 
+// NextBatch fills dst with the next packets in delivery order and
+// returns how many it delivered (possibly zero, meaning the receiver
+// must wait for more arrivals — the same condition as Next returning
+// false). One call amortizes the scan machinery over whole service
+// runs: once a delivery leaves the simulation mid-service of a
+// channel, the run's remaining packets are taken straight off that
+// channel without re-running channel selection, which is exactly what
+// the scan would do — while the deficit stays positive SelectFor
+// cannot move, fast-forward requires a service boundary, and nothing
+// staged for the channel may apply before its run position.
+//
+//stripe:hotpath
+func (r *Resequencer) NextBatch(dst []*packet.Packet) int {
+	n := 0
+	for n < len(dst) {
+		p, ok := r.next()
+		if !ok {
+			break
+		}
+		dst[n] = p
+		n++
+		if r.mode == ModeLogical && r.cs == nil && r.leavingN == 0 {
+			n += r.drainRun(dst[n:])
+		}
+	}
+	if r.obs != nil {
+		r.obs.SetBuffered(int64(r.Buffered()))
+	}
+	return n
+}
+
+// drainRun continues the current service run: while the round-based
+// simulation is mid-service of a settled channel (no staged marker, not
+// leaving) whose head is a data packet, delivery and deficit accounting
+// proceed without the scan. Any other head kind — or the run ending —
+// falls back to the full discipline in the caller's loop.
+//
+//stripe:hotpath
+func (r *Resequencer) drainRun(dst []*packet.Packet) int {
+	n := 0
+	for n < len(dst) && r.s.MidService() {
+		c := r.s.Current()
+		if r.pendingHas[c] || r.left[c] || r.leaving[c] {
+			break
+		}
+		p, ok := r.bufs[c].peek()
+		if !ok || p.Kind != packet.Data {
+			break
+		}
+		r.bufs[c].pop()
+		r.s.Account(p.Len())
+		r.stats.Delivered++
+		r.stats.DeliveredBytes += int64(p.Len())
+		r.deliveredOn[c] += int64(p.Len())
+		r.noteDelivered(c, p)
+		dst[n] = p
+		n++
+	}
+	return n
+}
+
 func (r *Resequencer) next() (*packet.Packet, bool) {
 	// Overflow escalation ends once the backlog has halved (hysteresis,
 	// so a buffer hovering at the cap does not flap in and out of forced

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -65,6 +66,33 @@ type Gate interface {
 	Consume(c int, size int)
 }
 
+// creditReader is optionally implemented by gates that expose their
+// remaining per-channel credit (flowcontrol.Gate does). SendBatch
+// needs it to predict how many packets of a run the gate will admit
+// without calling Admit for packets it has not yet committed; a gate
+// without it limits runs to one packet.
+type creditReader interface {
+	Remaining(c int) int64
+}
+
+// costModel is optionally implemented by schedulers that expose what a
+// packet charges against a deficit counter (sched.SRR does, covering
+// the SRR/RR/GRR family). SendBatch uses it to predict how long the
+// selected channel's service lasts without mutating the automaton;
+// without it runs degrade to single packets.
+type costModel interface {
+	CostOf(size int) int64
+}
+
+// bulkAccounter is optionally implemented by schedulers that can charge
+// a whole predicted run in one step (sched.SRR does). Valid only for a
+// fully transmitted run whose interior packets provably could not end
+// the service — exactly what run prediction guarantees — so the bulk
+// charge lands in the same state per-packet Account calls would.
+type bulkAccounter interface {
+	AccountCost(cost int64)
+}
+
 // ErrGated is returned by Send when flow control blocks the selected
 // channel. The caller retries after credits arrive; the scheduler state
 // is untouched, so the retry goes to the same channel (anything else
@@ -82,6 +110,11 @@ type Striper struct {
 	csInit        sched.State      // cs start state, for resets
 	mem           sched.Membership // non-nil when the scheduler supports dynamic membership
 	out           []channel.Sender
+	batchOut      []channel.BatchSender // batch-capable views of out (nil where unsupported)
+	coster        costModel             // scheduler cost model for run prediction (nil disables)
+	bulkAcct      bulkAccounter         // scheduler bulk accounting for committed runs (nil disables)
+	creditRem     creditReader          // gate credit view for run prediction (nil disables)
+	one           [1]*packet.Packet     // Send's batch of one, alias-free between calls
 	policy        MarkerPolicy
 	addSeq        bool
 	gate          Gate
@@ -165,6 +198,15 @@ func NewStriper(cfg StriperConfig) (*Striper, error) {
 	}
 	st.sentOn = make([]int64, len(st.out))
 	st.sentPktsOn = make([]int64, len(st.out))
+	st.batchOut = make([]channel.BatchSender, len(st.out))
+	for c, ch := range st.out {
+		st.batchOut[c], _ = ch.(channel.BatchSender)
+	}
+	st.coster, _ = s.(costModel)
+	st.bulkAcct, _ = s.(bulkAccounter)
+	if cfg.Gate != nil {
+		st.creditRem, _ = cfg.Gate.(creditReader)
+	}
 	st.mem, _ = s.(sched.Membership)
 	st.active = make([]bool, len(st.out))
 	for c := range st.active {
@@ -331,22 +373,68 @@ func (st *Striper) SyncObs() {
 	st.obs.RunChecks()
 }
 
-// Send stripes one data packet. The packet is transmitted verbatim
+// Send stripes one data packet: a batch of one, so flow-control
+// gating, transport-failure accounting, and marker cadence share
+// SendBatch's single code path. The packet is transmitted verbatim
 // unless AddSeq was configured. ErrGated means flow control vetoed the
 // transmission; retry the same packet later.
 //
 //stripe:hotpath
 func (st *Striper) Send(p *packet.Packet) error {
+	st.one[0] = p
+	_, err := st.SendBatch(st.one[:1])
+	st.one[0] = nil
+	return err
+}
+
+// SendBatch stripes pkts in FIFO order, amortizing scheduler
+// selection, credit-gate checks, and channel writes across the batch:
+// maximal runs of consecutive packets bound for the same channel are
+// predicted against the scheduler's cost model and handed to the
+// channel in one BatchSender call (one buffered flush per run on TCP
+// channels). It returns the number of packets transmitted; n <
+// len(pkts) only alongside a non-nil error — ErrGated when flow
+// control vetoed pkts[n] (retry pkts[n:] once credits arrive), or a
+// *ChannelSendError when a transport failed. Exactly as with Send, a
+// packet the transport did not accept is neither accounted to the
+// scheduler nor charged to the gate, so the retry targets the same
+// channel until the health monitor evicts it.
+//
+//stripe:hotpath
+func (st *Striper) SendBatch(pkts []*packet.Packet) (int, error) {
+	done := 0
+	for done < len(pkts) {
+		n, err := st.sendRun(pkts[done:])
+		done += n
+		if err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+// sendRun transmits a maximal single-channel prefix of pkts: the
+// packets the scheduler provably assigns to the channel it selects for
+// pkts[0] before that channel's service ends, bounded by the remaining
+// flow-control credit. Packets are stamped before the flush (the wire
+// format carries Seq), but all commitment — scheduler accounting, gate
+// consumption, counters, traces — happens per packet only after the
+// transport accepts it, so a transport failure leaves the automaton
+// exactly as a failed Send always has: un-advanced, the failed packets
+// re-stamped by their retry.
+//
+//stripe:hotpath
+func (st *Striper) sendRun(pkts []*packet.Packet) (int, error) {
 	if st.activeN == 0 {
-		return ErrNoActiveChannels
+		return 0, ErrNoActiveChannels
 	}
 	if st.pendingJoins != 0 {
 		st.applyPendingJoins()
 	}
 	st.maybeEmitMarkers()
 	c := st.s.Select()
-	if st.gate != nil && !st.gate.Admit(c, p.Len()) {
-		st.obs.OnCreditExhausted(c, p.Len())
+	if st.gate != nil && !st.gate.Admit(c, pkts[0].Len()) {
+		st.obs.OnCreditExhausted(c, pkts[0].Len())
 		// The packet has no identity yet (ID/Seq are stamped on the
 		// successful send), so trace under the identity it will get.
 		if st.addSeq {
@@ -354,46 +442,121 @@ func (st *Striper) Send(p *packet.Packet) error {
 		} else {
 			st.obs.TraceGated(st.nextID)
 		}
-		return ErrGated
+		return 0, ErrGated
 	}
-	p.ID = st.nextID
-	p.Ingress = st.clock
-	if st.addSeq {
-		p.Seq = st.nextSeq
-		p.HasSeq = true
+
+	// Predict the run length m. pkts[1:m] stay on c exactly while the
+	// deficit the scheduler granted survives each packet's cost (the
+	// mirror of Account's advance rule: service ends when the counter
+	// reaches zero) and while the gate's remaining credit admits each
+	// packet (the mirror of Admit; gate state cannot change mid-run —
+	// grants arrive under the same lock that serializes sends). A gate
+	// that hides its remaining credit, or a scheduler without a cost
+	// model, caps runs at one packet rather than risking a divergent
+	// prediction.
+	m := 1
+	runCost := int64(0) // summed scheduler cost of pkts[:m] (0 = unknown)
+	if st.coster != nil {
+		runCost = st.coster.CostOf(pkts[0].Len())
 	}
-	if err := st.out[c].Send(p); err != nil {
-		return st.sendFailed(c, err)
-	}
-	st.errStreak[c] = 0
-	st.nextID++
-	st.clock++
-	if st.addSeq {
-		st.nextSeq++
-	}
-	if st.gate != nil {
-		st.gate.Consume(c, p.Len())
-	}
-	st.sentData++
-	st.sentBytes += int64(p.Len())
-	st.sentOn[c] += int64(p.Len())
-	st.sentPktsOn[c]++
-	st.s.Account(p.Len())
-	if st.obs != nil {
-		// No atomics here: accounting stays in the striper's plain
-		// fields (already maintained above) and is published in
-		// SyncObs, so an active collector costs two plain-field
-		// updates per packet.
-		if p.Len() > st.obsMaxLen {
-			st.obsMaxLen = p.Len()
+	if st.coster != nil && st.rb != nil && st.batchOut[c] != nil &&
+		(st.gate == nil || st.creditRem != nil) {
+		deficit := st.rb.Deficit(c) - runCost
+		credit := int64(-1)
+		if st.gate != nil {
+			credit = st.creditRem.Remaining(c) - int64(pkts[0].Len())
 		}
-		st.obs.TraceSend(traceKey(p), c)
-		if st.obsLag++; st.obsLag >= obsFlushEvery {
-			st.SyncObs()
+		for m < len(pkts) && deficit > 0 {
+			sz := pkts[m].Len()
+			if credit >= 0 && int64(sz) > credit {
+				break
+			}
+			cost := st.coster.CostOf(sz)
+			deficit -= cost
+			runCost += cost
+			if credit >= 0 {
+				credit -= int64(sz)
+			}
+			m++
 		}
+	}
+
+	// Stamp before the flush: Seq rides the wire, so it must be final
+	// when the channel encodes the frame. The counters advance only at
+	// commit, so a failed tail is freshly re-stamped by its retry.
+	for i := 0; i < m; i++ {
+		p := pkts[i]
+		p.ID = st.nextID + uint64(i)
+		p.Ingress = st.clock + int64(i)
+		if st.addSeq {
+			p.Seq = st.nextSeq + uint64(i)
+			p.HasSeq = true
+		}
+	}
+
+	var sent int
+	var err error
+	if bs := st.batchOut[c]; bs != nil {
+		sent, err = bs.SendBatch(pkts[:m])
+	} else if err = st.out[c].Send(pkts[0]); err == nil {
+		sent = 1
+	}
+
+	// Commit exactly the accepted prefix. Everything additive — counters,
+	// gate consumption, scheduler cost — is charged in bulk; only traces
+	// are inherently per packet. A fully accepted predicted run takes
+	// the scheduler's one-step AccountCost (state-identical, see
+	// bulkAccounter); a partial prefix falls back to per-packet Account
+	// since the prediction's no-interior-advance guarantee covered the
+	// whole run, not the prefix.
+	if sent > 0 {
+		var runBytes int64
+		if st.obs != nil {
+			for i := 0; i < sent; i++ {
+				p := pkts[i]
+				runBytes += int64(p.Len())
+				// No atomics here: accounting stays in the striper's plain
+				// fields and is published in SyncObs, so an active
+				// collector costs two plain-field updates per packet.
+				if p.Len() > st.obsMaxLen {
+					st.obsMaxLen = p.Len()
+				}
+				st.obs.TraceSend(traceKey(p), c)
+			}
+			if st.obsLag += sent; st.obsLag >= obsFlushEvery {
+				st.SyncObs()
+			}
+		} else {
+			for i := 0; i < sent; i++ {
+				runBytes += int64(pkts[i].Len())
+			}
+		}
+		st.errStreak[c] = 0
+		st.nextID += uint64(sent)
+		st.clock += int64(sent)
+		if st.addSeq {
+			st.nextSeq += uint64(sent)
+		}
+		if st.gate != nil {
+			st.gate.Consume(c, int(runBytes))
+		}
+		st.sentData += int64(sent)
+		st.sentBytes += runBytes
+		st.sentOn[c] += runBytes
+		st.sentPktsOn[c] += int64(sent)
+		if sent == m && st.bulkAcct != nil && st.coster != nil {
+			st.bulkAcct.AccountCost(runCost)
+		} else {
+			for i := 0; i < sent; i++ {
+				st.s.Account(pkts[i].Len())
+			}
+		}
+	}
+	if err != nil {
+		return sent, st.sendFailed(c, err)
 	}
 	st.maybeEmitMarkers()
-	return nil
+	return sent, nil
 }
 
 // Reset broadcasts a reset packet on every channel and reinitialises the
@@ -404,16 +567,18 @@ func (st *Striper) Send(p *packet.Packet) error {
 // from older epochs still in flight.
 func (st *Striper) Reset() error {
 	st.epoch++
+	// Encode the epoch once and share the payload across the broadcast:
+	// reset packets are read-only once handed to a channel, so the
+	// per-channel copies the old byte-by-byte encoding made bought
+	// nothing.
 	pl := make([]byte, 8)
-	for i := 0; i < 8; i++ {
-		pl[i] = byte(st.epoch >> (8 * (7 - i)))
-	}
+	binary.BigEndian.PutUint64(pl, st.epoch)
 	var firstErr error
 	for c := range st.out {
 		if !st.active[c] {
 			continue
 		}
-		p := &packet.Packet{Kind: packet.Reset, Payload: append([]byte(nil), pl...)}
+		p := &packet.Packet{Kind: packet.Reset, Payload: pl}
 		if err := st.out[c].Send(p); err != nil && firstErr == nil {
 			firstErr = err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"strconv"
 	"time"
 
 	"stripe/internal/channel"
@@ -29,21 +30,40 @@ type PerfReport struct {
 	Quantiles map[string]map[string]int64 `json:"latency_quantiles_ns"`
 }
 
-// perfLoop runs fn ops times and folds the wall time into a PerfBench.
-// bytesPerOp feeds the MB/s figure (0 disables it).
+// perfPasses splits each row's measurement into independent passes; the
+// fastest pass is reported. The workload is deterministic, so the
+// passes differ only in how much the machine interfered — the fastest
+// is the least-perturbed measurement, and taking it keeps within-record
+// row ratios comparable even when a shared runner's speed drifts
+// between rows.
+const perfPasses = 5
+
+// perfLoop runs fn ops times (split into perfPasses passes) and folds
+// the fastest pass into a PerfBench. bytesPerOp feeds the MB/s figure
+// (0 disables it).
 func perfLoop(name string, ops int, bytesPerOp int64, fn func(i int)) PerfBench {
-	start := time.Now()
-	for i := 0; i < ops; i++ {
-		fn(i)
+	per := ops / perfPasses
+	if per == 0 {
+		per = 1
 	}
-	el := time.Since(start)
+	best := 0.0
+	for p := 0; p < perfPasses; p++ {
+		start := time.Now()
+		for i := 0; i < per; i++ {
+			fn(p*per + i)
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(per)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
 	b := PerfBench{
 		Name:    name,
-		Ops:     ops,
-		NsPerOp: float64(el.Nanoseconds()) / float64(ops),
+		Ops:     per * perfPasses,
+		NsPerOp: best,
 	}
-	if bytesPerOp > 0 && el > 0 {
-		b.MBPerS = float64(bytesPerOp) * float64(ops) / el.Seconds() / 1e6
+	if bytesPerOp > 0 && best > 0 {
+		b.MBPerS = float64(bytesPerOp) / best * 1e3
 	}
 	return b
 }
@@ -61,6 +81,18 @@ func RunPerf(cfg Config) PerfReport {
 	const nch = 4
 	quanta := sched.UniformQuanta(nch, 1500)
 	rep := PerfReport{Quantiles: map[string]map[string]int64{}}
+
+	// The bimodal packet-size schedule is drawn ahead of time so the
+	// timed loops measure the protocol rather than math/rand, and every
+	// pipeline row stripes the identical sequence. Rows consume it
+	// through their own cursor, wrapping if they outrun it.
+	sizes := make([]int, ops)
+	{
+		bim := trace.NewBimodal(200, 1000, 0.5, cfg.Seed)
+		for i := range sizes {
+			sizes[i] = bim.Next()
+		}
+	}
 
 	// Striper hot path alone: perfect channels, queues drained inline.
 	{
@@ -105,11 +137,14 @@ func RunPerf(cfg Config) PerfReport {
 		if err != nil {
 			panic(err)
 		}
-		sizes := trace.NewBimodal(200, 1000, 0.5, cfg.Seed)
 		payload := make([]byte, 1500)
+		si := 0
 		var bytes int64
 		bench := perfLoop(name, ops, 0, func(int) {
-			p := packet.NewData(payload[:sizes.Next()])
+			p := packet.NewData(payload[:sizes[si]])
+			if si++; si == len(sizes) {
+				si = 0
+			}
 			bytes += int64(p.Len())
 			if err := st.Send(p); err != nil {
 				panic(err)
@@ -131,6 +166,94 @@ func RunPerf(cfg Config) PerfReport {
 		rep.Benches = append(rep.Benches, bench)
 	}
 	pipeline("pipeline", nil)
+
+	// The batched pipeline: same workload, but packets flow through
+	// SendBatch in fixed-size batches of pooled packets, and delivered
+	// packets are released back to the pool. Batch size 1 measures the
+	// batch machinery's fixed cost against the `pipeline` row; 16 and
+	// 256 measure the amortization win. ns_per_op is per batch; MB/s is
+	// the cross-row comparable figure.
+	batched := func(batch int) {
+		name := "pipeline_batched_" + strconv.Itoa(batch)
+		g := channel.NewGroup(nch, channel.Impairments{})
+		st, err := core.NewStriper(core.StriperConfig{
+			Sched:    sched.MustSRR(quanta),
+			Channels: g.Senders(),
+			Markers:  core.MarkerPolicy{Every: 4, Position: 0},
+		})
+		if err != nil {
+			panic(err)
+		}
+		rs, err := core.NewResequencer(core.ResequencerConfig{
+			Sched: sched.MustSRR(quanta),
+			Mode:  core.ModeLogical,
+		})
+		if err != nil {
+			panic(err)
+		}
+		pkts := make([]*packet.Packet, batch)
+		delivered := make([]*packet.Packet, 0, batch+nch)
+		// iters keeps every pipeline-family row at the same packet
+		// count, so each perfLoop pass covers the same workload in the
+		// same wall time and best-of-pass selection biases every row
+		// equally — a prerequisite for comparing MB/s across rows.
+		iters := ops / batch
+		if iters < perfPasses {
+			iters = perfPasses
+		}
+		si := 0
+		var bytes int64
+		run := func(int) {
+			packet.GetBatch(pkts)
+			for _, p := range pkts {
+				p.Kind = packet.Data
+				p.Resize(sizes[si])
+				if si++; si == len(sizes) {
+					si = 0
+				}
+				bytes += int64(p.Len())
+			}
+			if n, err := st.SendBatch(pkts); err != nil || n != batch {
+				panic(err)
+			}
+			for c, q := range g.Queues {
+				for {
+					pkt, ok := q.Recv()
+					if !ok {
+						break
+					}
+					rs.Arrive(c, pkt)
+				}
+			}
+			for {
+				n := rs.NextBatch(delivered[:cap(delivered)])
+				if n == 0 {
+					break
+				}
+				packet.ReleaseBatch(delivered[:n])
+			}
+		}
+		// Unmeasured warmup: the large-batch rows run few timed
+		// iterations, so steady state (populated free-list slab, sized
+		// queue and resequencer buffers) must be reached before the
+		// clock starts or cold-start noise swamps the row.
+		warm := iters / 8
+		if warm < 8 {
+			warm = 8
+		}
+		for i := 0; i < warm; i++ {
+			run(i)
+		}
+		bytes = 0
+		bench := perfLoop(name, iters, 0, run)
+		if ns := bench.NsPerOp * float64(bench.Ops); ns > 0 {
+			bench.MBPerS = float64(bytes) / (ns / 1e9) / 1e6
+		}
+		rep.Benches = append(rep.Benches, bench)
+	}
+	batched(1)
+	batched(16)
+	batched(256)
 
 	col := obs.NewCollector(nch)
 	tracer := obs.NewTracer(obs.TracerConfig{Sample: 1})

@@ -68,8 +68,13 @@ func EncodeFrame(dst []byte, p *packet.Packet) []byte {
 	return append(dst, p.Payload...)
 }
 
-// DecodeFrame parses a frame back into a packet. The payload slice is
-// copied so the caller may reuse the buffer.
+// DecodeFrame parses a frame back into a packet. The payload is copied
+// out of b — never aliased — so the caller may reuse (or overwrite) the
+// buffer immediately; that copy is what lets the channels below read
+// every record into one channel-owned buffer. The returned packet is
+// drawn from the packet pool: once the receiver is done with it (and
+// retains no slice of its payload) it may hand it back with
+// Packet.Release, making the steady-state receive path allocation-free.
 func DecodeFrame(b []byte) (*packet.Packet, error) {
 	if len(b) < hdrBase {
 		return nil, ErrFrameTooShort
@@ -77,21 +82,23 @@ func DecodeFrame(b []byte) (*packet.Packet, error) {
 	if b[0] > byte(packet.Member) {
 		return nil, ErrBadCodepoint
 	}
-	p := &packet.Packet{Kind: packet.Kind(b[0])}
 	flags := b[1]
 	if flags&^flagSeq != 0 {
 		return nil, ErrBadFlags
 	}
+	p := packet.Get()
+	p.Kind = packet.Kind(b[0])
 	b = b[hdrBase:]
 	if flags&flagSeq != 0 {
 		if len(b) < hdrSeq {
+			p.Release()
 			return nil, ErrFrameTooShort
 		}
 		p.Seq = binary.BigEndian.Uint64(b[:hdrSeq])
 		p.HasSeq = true
 		b = b[hdrSeq:]
 	}
-	p.Payload = append([]byte(nil), b...)
+	p.Payload = append(p.Payload[:0], b...)
 	return p, nil
 }
 
@@ -128,6 +135,20 @@ func (u *UDPChannel) Send(p *packet.Packet) error {
 	frame := EncodeFrame(u.buf[:0], p)
 	_, err := u.conn.Write(frame)
 	return err
+}
+
+// SendBatch implements channel.BatchSender. Datagram boundaries are
+// packet boundaries, so each packet still goes out as its own write —
+// there is nothing to coalesce without sendmmsg — but the whole batch
+// reuses the channel's one encode buffer, so batched UDP sends allocate
+// nothing.
+func (u *UDPChannel) SendBatch(pkts []*packet.Packet) (int, error) {
+	for i, p := range pkts {
+		if err := u.Send(p); err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
 }
 
 // ReadPacket blocks for up to timeout (zero means forever) and returns
@@ -169,14 +190,26 @@ type TCPChannel struct {
 	bw   *bufio.Writer
 	br   *bufio.Reader
 	wbuf []byte
+
+	// In-flight read state, persisted across ReadPacket calls so a read
+	// deadline can fire at any byte position without desyncing the
+	// record stream: however much of the current record has been
+	// consumed stays here, and the next call resumes where this one
+	// stopped.
+	rlen     [recordLn]byte // partially read length prefix
+	rlenN    int            // bytes of rlen consumed so far
+	rbody    []byte         // channel-owned record buffer, reused every read
+	rbodyN   int            // bytes of the current record consumed so far
+	rbodyLen int            // current record length; -1 while reading the prefix
 }
 
 // NewTCPChannel wraps an established connection.
 func NewTCPChannel(conn net.Conn) *TCPChannel {
 	return &TCPChannel{
-		conn: conn,
-		bw:   bufio.NewWriterSize(conn, 64*1024),
-		br:   bufio.NewReaderSize(conn, 64*1024),
+		conn:     conn,
+		bw:       bufio.NewWriterSize(conn, 64*1024),
+		br:       bufio.NewReaderSize(conn, 64*1024),
+		rbodyLen: -1,
 	}
 }
 
@@ -208,9 +241,9 @@ func TCPPair() (*TCPChannel, *TCPChannel, error) {
 	return NewTCPChannel(dial), NewTCPChannel(acc.c), nil
 }
 
-// Send implements channel.Sender: the frame is written as one record
-// and flushed, preserving packet boundaries over the byte stream.
-func (t *TCPChannel) Send(p *packet.Packet) error {
+// writeFrame encodes p and buffers its length-prefixed record without
+// flushing.
+func (t *TCPChannel) writeFrame(p *packet.Packet) error {
 	t.wbuf = EncodeFrame(t.wbuf[:0], p)
 	if len(t.wbuf) > MaxFrame {
 		return ErrFrameTooBig
@@ -220,14 +253,53 @@ func (t *TCPChannel) Send(p *packet.Packet) error {
 	if _, err := t.bw.Write(ln[:]); err != nil {
 		return err
 	}
-	if _, err := t.bw.Write(t.wbuf); err != nil {
+	_, err := t.bw.Write(t.wbuf)
+	return err
+}
+
+// Send implements channel.Sender: the frame is written as one record
+// and flushed, preserving packet boundaries over the byte stream.
+func (t *TCPChannel) Send(p *packet.Packet) error {
+	if err := t.writeFrame(p); err != nil {
 		return err
 	}
 	return t.bw.Flush()
 }
 
+// SendBatch implements channel.BatchSender: every record is buffered
+// and the writer flushed once, so a batch costs one write syscall
+// instead of one per packet — the writev of the record stream. A flush
+// failure leaves delivery of the buffered records uncertain; they are
+// counted as accepted (indistinguishable from wire loss, which the
+// striping protocol already recovers from) and the error is returned.
+func (t *TCPChannel) SendBatch(pkts []*packet.Packet) (int, error) {
+	for i, p := range pkts {
+		if err := t.writeFrame(p); err != nil {
+			// Push any complete records already buffered so a failure on
+			// pkts[i] cannot desync the stream for its predecessors.
+			if ferr := t.bw.Flush(); ferr != nil {
+				return i, ferr
+			}
+			return i, err
+		}
+	}
+	if err := t.bw.Flush(); err != nil {
+		return len(pkts), err
+	}
+	return len(pkts), nil
+}
+
 // ReadPacket blocks for up to timeout (zero means forever) and returns
 // the next packet; a timeout returns (nil, nil).
+//
+// A deadline may fire at any byte position — half-way through the
+// 4-byte length prefix, or mid-record — without corrupting the stream:
+// the partial state is persisted on the channel and the next call
+// resumes the same record where this one stopped. (The previous
+// implementation discarded a partial prefix on timeout and reported a
+// mid-record timeout as a permanent truncation; either desynced every
+// subsequent frame on the connection.) A non-timeout error mid-record
+// (connection torn down) is reported as a truncated record.
 func (t *TCPChannel) ReadPacket(timeout time.Duration) (*packet.Packet, error) {
 	if timeout > 0 {
 		if err := t.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
@@ -238,36 +310,46 @@ func (t *TCPChannel) ReadPacket(timeout time.Duration) (*packet.Packet, error) {
 			return nil, err
 		}
 	}
-	var ln [recordLn]byte
-	if _, err := readFull(t.br, ln[:]); err != nil {
-		var ne net.Error
-		if errors.As(err, &ne) && ne.Timeout() {
-			return nil, nil
+	if t.rbodyLen < 0 {
+		for t.rlenN < recordLn {
+			m, err := t.br.Read(t.rlen[t.rlenN:])
+			t.rlenN += m
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					return nil, nil // prefix bytes so far stay in rlen
+				}
+				return nil, err
+			}
 		}
-		return nil, err
+		n := binary.BigEndian.Uint32(t.rlen[:])
+		t.rlenN = 0
+		if n > MaxFrame {
+			return nil, ErrFrameTooBig
+		}
+		t.rbodyLen = int(n)
+		t.rbodyN = 0
+		if cap(t.rbody) < t.rbodyLen {
+			t.rbody = make([]byte, t.rbodyLen)
+		}
 	}
-	n := binary.BigEndian.Uint32(ln[:])
-	if n > MaxFrame {
-		return nil, ErrFrameTooBig
+	body := t.rbody[:t.rbodyLen]
+	for t.rbodyN < t.rbodyLen {
+		m, err := t.br.Read(body[t.rbodyN:])
+		t.rbodyN += m
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return nil, nil // record bytes so far stay in rbody
+			}
+			return nil, fmt.Errorf("netchan: truncated record: %w", err)
+		}
 	}
-	body := make([]byte, n)
-	if _, err := readFull(t.br, body); err != nil {
-		return nil, fmt.Errorf("netchan: truncated record: %w", err)
-	}
+	// The record is complete; DecodeFrame copies the payload out of
+	// body, so rbody is free for the next record immediately.
+	t.rbodyLen = -1
 	return DecodeFrame(body)
 }
 
 // Close releases the connection.
 func (t *TCPChannel) Close() error { return t.conn.Close() }
-
-func readFull(r *bufio.Reader, b []byte) (int, error) {
-	n := 0
-	for n < len(b) {
-		m, err := r.Read(b[n:])
-		n += m
-		if err != nil {
-			return n, err
-		}
-	}
-	return n, nil
-}

@@ -3,7 +3,6 @@ package packet
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 )
 
 // MemberOp names the membership transition a Member packet announces.
@@ -86,7 +85,7 @@ func (m *MemberBlock) ActiveChannel(c int) bool {
 //	17     8     round
 //	25     8     active bitmap
 //	33     4     n (universe size)
-//	37     4     CRC-32 (IEEE) over bytes [0,37)
+//	37     4     CRC-32C (Castagnoli) over bytes [0,37)
 //
 // Fixed-size and checksummed for the same reasons as markers: cheap to
 // validate, and a corrupted announcement is dropped rather than
@@ -110,7 +109,7 @@ func (m *MemberBlock) Encode(dst []byte) []byte {
 	binary.BigEndian.PutUint64(b[17:25], m.Round)
 	binary.BigEndian.PutUint64(b[25:33], m.Active)
 	binary.BigEndian.PutUint32(b[33:37], m.N)
-	binary.BigEndian.PutUint32(b[37:41], crc32.ChecksumIEEE(b[0:37]))
+	binary.BigEndian.PutUint32(b[37:41], ctrlCRC(b[0:37]))
 	return dst
 }
 
@@ -123,7 +122,7 @@ func DecodeMember(b []byte) (MemberBlock, error) {
 	if string(b[0:4]) != memberMagic {
 		return m, ErrBadMagic
 	}
-	if crc32.ChecksumIEEE(b[0:37]) != binary.BigEndian.Uint32(b[37:41]) {
+	if ctrlCRC(b[0:37]) != binary.BigEndian.Uint32(b[37:41]) {
 		return m, ErrChecksum
 	}
 	m.Seq = binary.BigEndian.Uint64(b[4:12])

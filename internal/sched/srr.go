@@ -119,6 +119,15 @@ func (s *SRR) costOf(size int) int64 {
 	return int64(size)
 }
 
+// CostOf returns what a packet of the given payload size charges
+// against a deficit counter under the scheduler's cost model (bytes
+// for SRR, one unit for the RR/GRR baselines). The batched striper
+// uses it to predict how long the current channel's service lasts
+// without mutating the automaton.
+//
+//stripe:hotpath
+func (s *SRR) CostOf(size int) int64 { return s.costOf(size) }
+
 // Select implements Scheduler; it is SelectFor with no skip rule.
 //
 //stripe:hotpath
@@ -166,6 +175,27 @@ func (s *SRR) Account(size int) {
 		s.began = true
 	}
 	s.dc[s.cur] -= s.costOf(size)
+	if s.dc[s.cur] <= 0 {
+		s.advance()
+	}
+}
+
+// AccountCost charges one whole service run in a single step: cost must
+// be the sum of CostOf over the run's packets, and the run must have
+// been predicted so that no packet but the last could end the service
+// (deficit stays positive through the run's interior — the batched
+// striper's run-prediction rule). Under that precondition the automaton
+// lands in exactly the state m individual Account calls would produce,
+// because none of the skipped intermediate states could have advanced
+// the scan.
+//
+//stripe:hotpath
+func (s *SRR) AccountCost(cost int64) {
+	if !s.began {
+		s.dc[s.cur] += s.quanta[s.cur]
+		s.began = true
+	}
+	s.dc[s.cur] -= cost
 	if s.dc[s.cur] <= 0 {
 		s.advance()
 	}

@@ -103,6 +103,10 @@ type Session struct {
 	lowScore   []int       // consecutive below-threshold health-score windows
 	lastFoldAt int64       // AtNs of the newest rollup the score check consumed
 
+	// one is Send's batch of one (guarded by mu), so the single-packet
+	// path rides sendBatchLocked without allocating a slice per call.
+	one [1]*packet.Packet
+
 	closed chan struct{}
 	once   sync.Once
 }
@@ -272,15 +276,46 @@ var ErrSessionClosed = errors.New("stripe: session closed")
 func (s *Session) Send(p *Packet) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.one[0] = p
+	_, err := s.sendBatchLocked(s.one[:1])
+	s.one[0] = nil
+	return err
+}
+
+// SendBatch stripes pkts in FIFO order toward the peer, taking the
+// session lock once for the whole batch and flushing maximal
+// same-channel runs in single channel writes. It blocks exactly as Send
+// does — while flow control holds the selected channel, and across
+// transport-failure retries the health monitor can absorb — and returns
+// the number of packets sent. n < len(pkts) only alongside a non-nil
+// error (session closed, or a transport error no eviction can absorb);
+// pkts[n:] were not sent.
+//
+// Arrivals (and the credits they carry) are processed by Arrive on
+// other goroutines, so a batch blocked on credit makes progress exactly
+// as single-packet Sends would; the batch only amortizes lock and
+// flush overhead, it never holds the lock while waiting.
+func (s *Session) SendBatch(pkts []*Packet) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sendBatchLocked(pkts)
+}
+
+// sendBatchLocked is the session transmit loop: Send's historical
+// gated-wait and eviction-retry behavior, applied to a batch. Caller
+// holds s.mu.
+func (s *Session) sendBatchLocked(pkts []*packet.Packet) (int, error) {
 	var stalled time.Time
-	for {
+	done := 0
+	for done < len(pkts) {
 		select {
 		case <-s.closed:
 			s.noteStall(stalled)
-			return ErrSessionClosed
+			return done, ErrSessionClosed
 		default:
 		}
-		err := s.st.Send(p)
+		n, err := s.st.SendBatch(pkts[done:])
+		done += n
 		if err == core.ErrGated {
 			if s.col != nil && stalled.IsZero() {
 				stalled = time.Now()
@@ -298,9 +333,13 @@ func (s *Session) Send(p *Packet) error {
 			}
 			continue
 		}
-		s.noteStall(stalled)
-		return err
+		if err != nil {
+			s.noteStall(stalled)
+			return done, err
+		}
 	}
+	s.noteStall(stalled)
+	return done, nil
 }
 
 // noteStall charges the time since the first gated attempt of a Send
@@ -374,6 +413,34 @@ func (s *Session) Recv() *Packet {
 	}
 }
 
+// RecvBatch fills dst with as many consecutive in-order packets as are
+// deliverable right now, blocking (like Recv) until at least one is
+// available, and returns the number filled. Zero means the session was
+// closed. The lock is taken once per batch, not once per packet.
+//
+// Received packets are owned by the caller; pooled ones (the netchan
+// receive path draws from the packet pool) may be handed back with
+// Packet.Release once their payloads are consumed, which is what keeps
+// the steady-state receive path allocation-free.
+func (s *Session) RecvBatch(dst []*Packet) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if n := s.rs.NextBatch(dst); n > 0 {
+			return n
+		}
+		select {
+		case <-s.closed:
+			return 0
+		default:
+		}
+		s.rxCond.Wait()
+	}
+}
+
 // EmitMarkers cuts a marker batch (with piggybacked credits) now.
 func (s *Session) EmitMarkers() {
 	s.mu.Lock()
@@ -384,8 +451,17 @@ func (s *Session) EmitMarkers() {
 // Close stops the marker timer and unblocks Send and Recv.
 func (s *Session) Close() {
 	s.once.Do(func() { close(s.closed) })
+	// Broadcast under the session lock. A credit-stalled sender holds
+	// s.mu continuously from its closed-channel check to txCond.Wait;
+	// an unlocked broadcast could fire in that window and wake nobody,
+	// leaving the sender parked forever (no credits are coming after
+	// Close). Taking the lock serializes with that critical section:
+	// either the sender sees the closed channel, or it is already
+	// waiting when the broadcast fires.
+	s.mu.Lock()
 	s.txCond.Broadcast()
 	s.rxCond.Broadcast()
+	s.mu.Unlock()
 }
 
 // Stats returns this end's receive counters.

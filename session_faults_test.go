@@ -1,6 +1,8 @@
 package stripe
 
 import (
+	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -193,5 +195,118 @@ func TestSessionIdleMarkersBounded(t *testing.T) {
 	}
 	if drained == 0 {
 		t.Fatal("no markers were drained eagerly")
+	}
+}
+
+// flakySender is a ChannelSender whose failure mode can be toggled from
+// the test while the session drives it concurrently.
+type flakySender struct {
+	mu   sync.Mutex
+	fail bool
+	sent int
+}
+
+func (f *flakySender) setFail(v bool) {
+	f.mu.Lock()
+	f.fail = v
+	f.mu.Unlock()
+}
+
+func (f *flakySender) Send(p *Packet) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return errTransportDown
+	}
+	f.sent++
+	return nil
+}
+
+var errTransportDown = errors.New("transport down")
+
+// TestSessionSendFailsOnLastActiveChannel covers the eviction-retry
+// loop's terminal case: a transport failure on the last active channel
+// has no survivor to absorb it, so Send must surface the
+// ChannelSendError instead of retrying (or evicting) forever.
+func TestSessionSendFailsOnLastActiveChannel(t *testing.T) {
+	const nch = 2
+	f := []*flakySender{{fail: true}, {}}
+	s, err := NewSession([]ChannelSender{f[0], f[1]}, SessionConfig{
+		Config:         Config{Quanta: UniformQuanta(nch, 1500), Collector: NewCollector(nch)},
+		MarkerInterval: -1,
+		Health:         HealthConfig{EvictAfter: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Channel 0 is down: the retry loop must grow its error streak to
+	// the eviction threshold, evict it, and land the packet on channel 1
+	// — all within one Send call.
+	if err := s.SendBytes(make([]byte, 100)); err != nil {
+		t.Fatalf("send with a survivor available: %v", err)
+	}
+	if got := s.ActiveChannels(); got != 1 {
+		t.Fatalf("active channels after eviction = %d, want 1", got)
+	}
+	if f[1].sent == 0 {
+		t.Fatal("packet did not land on the surviving channel")
+	}
+
+	// Now the survivor dies too. Eviction cannot absorb a failure on the
+	// last active channel, so the error must come back to the caller.
+	f[1].setFail(true)
+	err = s.SendBytes(make([]byte, 100))
+	var cse *ChannelSendError
+	if !errors.As(err, &cse) {
+		t.Fatalf("send on last failing channel returned %v, want ChannelSendError", err)
+	}
+	if cse.Channel != 1 {
+		t.Fatalf("failure reported on channel %d, want 1", cse.Channel)
+	}
+	if got := s.ActiveChannels(); got != 1 {
+		t.Fatalf("last channel must never be evicted; active = %d", got)
+	}
+}
+
+// TestSessionCloseRacesCreditStalledSend is the lost-wakeup regression:
+// Close used to broadcast the cond vars without holding the session
+// lock, so the broadcast could fire in the window between a
+// credit-stalled sender's closed-channel check and its txCond.Wait —
+// waking nobody and parking the sender forever (no credits arrive after
+// Close). Close now serializes with that critical section by taking the
+// lock, so every stalled Send must return ErrSessionClosed promptly.
+// Run with -race.
+func TestSessionCloseRacesCreditStalledSend(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		f := &flakySender{}
+		s, err := NewSession([]ChannelSender{f}, SessionConfig{
+			Config:         Config{Quanta: UniformQuanta(1, 1500), Collector: NewCollector(1)},
+			CreditWindow:   64, // smaller than the payload: gated immediately, forever
+			MarkerInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- s.SendBytes(make([]byte, 128)) }()
+		// Vary the interleaving: sometimes Close beats the closed-check,
+		// sometimes it lands while the sender holds the lock, sometimes
+		// after it waits.
+		if i%3 == 1 {
+			runtime.Gosched()
+		} else if i%3 == 2 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		s.Close()
+		select {
+		case err := <-done:
+			if err != ErrSessionClosed {
+				t.Fatalf("stalled send returned %v, want ErrSessionClosed", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("credit-stalled Send never woke after Close (lost wakeup)")
+		}
 	}
 }

@@ -17,6 +17,21 @@ type Packet = packet.Packet
 // Data builds a data packet around payload without copying.
 func Data(payload []byte) *Packet { return packet.NewData(payload) }
 
+// GetPacket returns a zeroed packet from the process-wide packet pool.
+// Its payload has length zero but keeps the capacity of its previous
+// life; see GetPacketSized for a sized one. Hand packets back with
+// Packet.Release once done (optional — unreleased packets are ordinary
+// garbage), and never Release a packet whose payload aliases memory you
+// keep (such as one built with Data).
+func GetPacket() *Packet { return packet.Get() }
+
+// GetPacketSized returns a pooled data packet whose payload has length
+// n, with unspecified contents. This is the allocation-free way to feed
+// SendBatch in steady state: a released packet donates its payload
+// backing array to the pool, so once capacities stabilize Get/Release
+// cycles allocate nothing.
+func GetPacketSized(n int) *Packet { return packet.GetSized(n) }
+
 // Kinds, for inspecting packets read directly off channels.
 const (
 	KindData   = packet.Data
@@ -236,6 +251,16 @@ func (s *Sender) Send(p *Packet) error {
 // SendBytes stripes a payload.
 func (s *Sender) SendBytes(payload []byte) error { return s.Send(Data(payload)) }
 
+// SendBatch stripes pkts in FIFO order, taking the sender lock once and
+// flushing maximal same-channel runs in single channel writes. It
+// returns the number of packets sent; n < len(pkts) only alongside a
+// non-nil error, and pkts[n:] were not sent.
+func (s *Sender) SendBatch(pkts []*Packet) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.SendBatch(pkts)
+}
+
 // EmitMarkers cuts a marker batch immediately. Call it from a timer if
 // the stream can go idle, so a stalled sender still resynchronizes the
 // receiver after loss.
@@ -348,6 +373,29 @@ func (r *Receiver) Recv() *Packet {
 		}
 		if r.closed {
 			return nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// RecvBatch fills dst with as many consecutive in-order packets as are
+// deliverable right now, blocking (like Recv) until at least one is
+// available, and returns the number filled. Zero means the receiver was
+// closed. The lock is taken once per batch. Packets received off
+// netchan transports are pool-backed; Release them once consumed to
+// keep the receive path allocation-free.
+func (r *Receiver) RecvBatch(dst []*Packet) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if n := r.rs.NextBatch(dst); n > 0 {
+			return n
+		}
+		if r.closed {
+			return 0
 		}
 		r.cond.Wait()
 	}
