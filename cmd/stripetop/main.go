@@ -1,11 +1,14 @@
 // stripetop is a live terminal dashboard for striped sessions: it
 // polls a stripe.Serve endpoint's /debug/stripe/health and renders
 // per-channel windowed rates, health scores with reason codes, the
-// fairness band, and recent protocol events — top(1) for a bundle.
+// fairness band, peer-reported loss and relative one-way delay (the
+// P-LOSS / P-DELAY columns, from the telemetry plane), and recent
+// protocol events — top(1) for a bundle.
 //
 //	stripetop -addr localhost:9090           # watch a running endpoint
 //	stripetop -demo                          # self-contained demo session
 //	stripetop -demo -plain -d 3s -i 500ms    # CI-friendly: no ANSI clears
+//	stripetop -addr localhost:9090 -once     # one frame, no ANSI, exit 0
 //
 // The demo starts an in-process duplex session over lossy local
 // channels (one channel degraded hard), serves it on a loopback port,
@@ -39,6 +42,12 @@ func main() {
 		plain    = flag.Bool("plain", false, "append frames instead of ANSI-clearing the screen (for logs/CI)")
 	)
 	flag.Parse()
+
+	// A single-frame snapshot is for scripts and CI logs: never clear
+	// the screen, just print the frame and exit 0.
+	if *once {
+		*plain = true
+	}
 
 	target := *addr
 	deadline := *dur
@@ -123,18 +132,36 @@ func render(addr string, reports []stripe.HealthReport, prevEvents map[string]ma
 			sp.Span, sp.Covered.Round(time.Millisecond),
 			rate(sp.Session.TxBytesPerSec), rate(sp.Session.RxBytesPerSec),
 			100*sp.Session.CreditStallFrac)
-		b.WriteString("  CH  HEALTH            TX/s      RX/s      LOSS  RSYNC/s  MARK/s  LATENCY  SKEW    REASONS\n")
+		b.WriteString("  CH  HEALTH            TX/s      RX/s      LOSS  RSYNC/s  MARK/s  LATENCY  SKEW    P-LOSS  P-DELAY  REASONS\n")
 		for _, c := range sp.Channels {
 			h := r.Windows.Score(c.Channel)
 			reasons := "-"
 			if len(h.Reasons) > 0 {
 				reasons = strings.Join(h.Reasons, ",")
 			}
-			fmt.Fprintf(&b, "  %2d  %3d %s  %-8s  %-8s  %4.1f%%  %7.1f  %6.1f  %-7s  %-6s  %s\n",
+			pLoss, pDelay := "-", "-"
+			if pc := peerChannel(r.Peer, c.Channel); pc != nil {
+				pLoss = fmt.Sprintf("%.1f%%", 100*pc.LossFrac)
+				if pc.OneWayDelayNs != 0 {
+					pDelay = "+" + latency(pc.RelativeDelayNs)
+					if pc.RelativeDelayNs == 0 {
+						pDelay = "+0s" // the bundle's fastest channel
+					}
+				}
+			}
+			fmt.Fprintf(&b, "  %2d  %3d %s  %-8s  %-8s  %4.1f%%  %7.1f  %6.1f  %-7s  %-6s  %-6s  %-7s  %s\n",
 				c.Channel, h.Score, bar(h.Score),
 				rate(c.TxBytesPerSec), rate(c.RxBytesPerSec),
 				100*c.LossFrac, c.ResyncsPerSec, c.MarkersPerSec,
-				latency(c.LatencyEWMA), latency(c.DelaySkew), reasons)
+				latency(c.LatencyEWMA), latency(c.DelaySkew), pLoss, pDelay, reasons)
+		}
+		if p := r.Peer; p != nil {
+			occ := ""
+			if p.MaxBuffered > 0 {
+				occ = fmt.Sprintf("  reseq %d/%d (%.0f%%)", p.Buffered, p.MaxBuffered, 100*p.OccupancyFrac)
+			}
+			fmt.Fprintf(&b, "  peer: report #%d%s  bundle skew %s\n",
+				p.Seq, occ, latency(p.SkewNs))
 		}
 		if line := eventDelta(name, r.Events, prevEvents); line != "" {
 			fmt.Fprintf(&b, "  events: %s\n", line)
@@ -168,6 +195,20 @@ func eventDelta(session string, now map[string]int64, prev map[string]map[string
 	}
 	prev[session] = cp
 	return strings.Join(parts, "  ")
+}
+
+// peerChannel finds channel c in the peer section, nil when the peer
+// has not reported (or not for this channel).
+func peerChannel(p *stripe.PeerSnapshot, c int) *stripe.PeerChannel {
+	if p == nil {
+		return nil
+	}
+	for i := range p.Channels {
+		if p.Channels[i].Channel == c {
+			return &p.Channels[i]
+		}
+	}
+	return nil
 }
 
 // bar renders a ten-cell health meter.

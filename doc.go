@@ -120,6 +120,20 @@
 // eviction (HealthConfig.ScoreEvictBelow) — it catches silently lossy
 // channels whose Send never errors and so never build an error streak.
 //
+// Sessions also feed each other: on every marker-timer tick the
+// receiver's per-channel view (delivered/lost bytes, resyncs,
+// resequencer occupancy, recent marker timestamps) rides back as a
+// Telemetry control packet — a forward-compatible codepoint that
+// plain receivers ignore — and folds into the sender-side PeerView
+// (Session.PeerView, re-exported from internal/obs). An NTP-style
+// min-filter over marker tx/rx timestamp pairs recovers per-channel
+// relative one-way delay and bundle skew; peer-reported loss powers
+// HealthConfig.PeerScoreEvictBelow, eviction on the receiver's
+// evidence when the sender's own accounting shows nothing wrong. The
+// peer section appears in /debug/stripe/health, the stripe_peer_*
+// and stripe_channel_oneway_delay_nanoseconds gauges, and
+// stripetop's P-LOSS / P-DELAY columns.
+//
 // The internal packages implement every substrate of the paper's
 // evaluation (schedulers, impaired channels, the strIPe IP framework, a
 // discrete-event simulator with a Reno-style TCP, baselines, and the

@@ -57,6 +57,15 @@ type ResequencerConfig struct {
 	// peer's membership onto their own transmit side and to recompute
 	// derived sizing (buffer caps) for the new live set.
 	OnMembership func(c int, joined bool)
+	// OnTelemetry, when non-nil, observes every structurally valid
+	// telemetry block arriving from the peer. Sessions feed it into an
+	// obs.PeerView; without a handler telemetry packets are counted and
+	// dropped.
+	OnTelemetry func(t packet.TelemetryBlock)
+	// Now supplies the receiver clock (nanoseconds) used to stamp marker
+	// arrivals for the telemetry plane's one-way delay samples. Nil
+	// selects time.Now. Deterministic harnesses inject a virtual clock.
+	Now func() int64
 	// SelfHealGap tunes the self-stabilization detector: a marker counts
 	// as evidence of state corruption only when it is stale by more than
 	// this many rounds. Legitimate staleness (markers buffered behind
@@ -102,6 +111,9 @@ type ResequencerStats struct {
 	MemberLost     int64 // buffered data packets declared lost at retirement
 	MemberDrops    int64 // arrivals discarded on removed channels
 	BadMembers     int64 // membership announcements dropped as corrupt
+	Telemetry      int64 // telemetry blocks consumed
+	BadTelemetry   int64 // telemetry blocks dropped as corrupt
+	UnknownKinds   int64 // arrivals dropped for unrecognized codepoints
 }
 
 // Resequencer is the receiver engine. Drive it by pushing packets from
@@ -152,6 +164,22 @@ type Resequencer struct {
 	// the marker) minus arrivedOn is exactly the loss on the channel.
 	arrivedOn []int64
 	obs       *obs.Collector
+
+	// Telemetry-plane state, harvested at physical marker arrival and
+	// reported back to the sender by TelemetryBlock. resyncsOn
+	// attributes resync events to the channel whose marker (or sequence
+	// gap) triggered them; peerLost is the monotone max-fold of each
+	// marker's Sent position minus arrivedOn — exact cumulative loss,
+	// because channels are FIFO; markerTxNs/markerRxNs hold the latest
+	// stamped marker's (sender tx, receiver rx) clock pair, one one-way
+	// delay sample.
+	resyncsOn    []int64
+	peerLost     []int64
+	markerTxNs   []int64
+	markerRxNs   []int64
+	now          func() int64
+	telemetrySeq uint64
+	onTelemetry  func(packet.TelemetryBlock)
 
 	// Memory bound state.
 	maxBuffered int  // 0 = unbounded
@@ -253,6 +281,15 @@ func NewResequencer(cfg ResequencerConfig) (*Resequencer, error) {
 		left:         make([]bool, n),
 		delimited:    make([]bool, n),
 		onMembership: cfg.OnMembership,
+		resyncsOn:    make([]int64, n),
+		peerLost:     make([]int64, n),
+		markerTxNs:   make([]int64, n),
+		markerRxNs:   make([]int64, n),
+		now:          cfg.Now,
+		onTelemetry:  cfg.OnTelemetry,
+	}
+	if rr.now == nil {
+		rr.now = nowNs
 	}
 	rr.mem, _ = cfg.Sched.(sched.Membership)
 	rr.skip = rr.skipRule
@@ -362,6 +399,24 @@ func (r *Resequencer) arrive(c int, p *packet.Packet) {
 			r.stats.BadMembers++
 		}
 		return
+	}
+	if p.Kind == packet.Telemetry {
+		// Telemetry is advisory control traffic for the local sender; it
+		// never enters the delivery order or the simulation.
+		r.consumeTelemetry(p)
+		return
+	}
+	if p.Kind > packet.Telemetry {
+		// Forward compatibility: an unrecognized codepoint from a newer
+		// peer is dropped here, before it can reach the buffers — the
+		// delivery scans would otherwise account it against the simulated
+		// schedulers and hand it to the application as data, desyncing
+		// the two ends over a packet the sender never striped.
+		r.stats.UnknownKinds++
+		return
+	}
+	if p.Kind == packet.Marker {
+		r.harvestMarker(c, p)
 	}
 	if r.left[c] {
 		// Removed slot. Data is dropped (the arrival accounting above
@@ -872,6 +927,7 @@ func (r *Resequencer) applyMarker(c int, m packet.MarkerBlock) {
 		}
 		if !r.marked[c] || r.expect[c] != m.Round {
 			r.stats.Resyncs++
+			r.resyncsOn[c]++
 			r.obs.OnResync(c, m.Round, m.Deficit)
 		}
 		r.marked[c] = true
@@ -886,6 +942,7 @@ func (r *Resequencer) applyMarker(c int, m packet.MarkerBlock) {
 		}
 		if r.s.Deficit(c) != d {
 			r.stats.Resyncs++
+			r.resyncsOn[c]++
 			r.obs.OnResync(c, m.Round, d)
 			r.s.SetDeficit(c, d)
 		}
@@ -1058,6 +1115,7 @@ scan:
 		// Every channel has a data head and all exceed nextSeq: the gap
 		// [nextSeq, minSeq) was lost. Declare it and resume at minSeq.
 		r.stats.Resyncs++
+		r.resyncsOn[minCh]++
 		r.obs.OnResync(minCh, 0, int64(minSeq))
 		r.nextSeq = minSeq
 	}

@@ -55,6 +55,11 @@ type StriperConfig struct {
 	// events. A nil collector disables instrumentation at the cost of
 	// one pointer test per packet.
 	Obs *obs.Collector
+	// Now supplies the sender clock (nanoseconds) stamped into each
+	// marker's TxNs field for the peer telemetry plane's one-way delay
+	// estimation. Nil selects time.Now. Deterministic harnesses inject
+	// a virtual clock.
+	Now func() int64
 }
 
 // Gate is the hook the credit-based flow controller plugs into.
@@ -125,6 +130,9 @@ type Striper struct {
 	nextID        uint64
 	clock         int64
 	epoch         uint64
+	now           func() int64
+	stampTick     uint64 // marker batches cut; every 4th carries a TxNs stamp
+	telemetryChan int    // next channel SendTelemetry rotates onto
 
 	// Dynamic membership (see membership.go). The channel universe is
 	// fixed at construction — slots are enabled and disabled, never
@@ -191,6 +199,10 @@ func NewStriper(cfg StriperConfig) (*Striper, error) {
 		gate:          cfg.Gate,
 		markerCredits: cfg.MarkerCredits,
 		obs:           cfg.Obs,
+		now:           cfg.Now,
+	}
+	if st.now == nil {
+		st.now = nowNs
 	}
 	if cfg.Sched == nil {
 		st.cs = cfg.CausalSched
@@ -304,6 +316,16 @@ func (st *Striper) EmitMarkers() {
 //
 //stripe:allowescape marker batch: control-plane work amortized over a marker interval (policy.Every rounds), and marker packets must allocate
 func (st *Striper) emitBatch() {
+	// One delay sample per few marker batches is all the peer's 8-deep
+	// min-filter needs, and a clock read per marker is real money at
+	// tight marker cadences — so stamp every fourth batch, once for the
+	// whole batch (markers cut at the same instant make cross-channel rx
+	// differences directly comparable), and leave the rest TxNs=0, which
+	// also skips the receiver's clock read on arrival.
+	var txNs int64
+	if st.stampTick++; st.stampTick&3 == 0 {
+		txNs = st.now()
+	}
 	for c := range st.out {
 		if !st.active[c] {
 			continue
@@ -329,6 +351,7 @@ func (st *Striper) emitBatch() {
 		if st.markerCredits != nil {
 			mb.Credits = st.markerCredits(c)
 		}
+		mb.TxNs = txNs
 		if err := st.out[c].Send(packet.NewMarker(mb)); err == nil {
 			st.sentMarkers++
 			st.errStreak[c] = 0

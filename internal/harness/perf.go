@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"runtime"
 	"strconv"
 	"time"
 
@@ -18,6 +19,10 @@ type PerfBench struct {
 	Ops     int     `json:"ops"`
 	NsPerOp float64 `json:"ns_per_op"`
 	MBPerS  float64 `json:"mb_per_s"`
+	// AllocsPerOp is the heap allocations per op in the reported
+	// (fastest) pass, so the zero-alloc batched path is tracked in the
+	// perf trajectory rather than only asserted in tests.
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // PerfReport is the output of RunPerf: the perf trajectory record that
@@ -46,21 +51,28 @@ func perfLoop(name string, ops int, bytesPerOp int64, fn func(i int)) PerfBench 
 	if per == 0 {
 		per = 1
 	}
-	best := 0.0
+	best, bestAllocs := 0.0, 0.0
+	var msBefore, msAfter runtime.MemStats
 	for p := 0; p < perfPasses; p++ {
+		// Mallocs deltas bracket the timed region from outside it, so
+		// the stop-the-world ReadMemStats never lands in a measurement.
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		for i := 0; i < per; i++ {
 			fn(p*per + i)
 		}
 		ns := float64(time.Since(start).Nanoseconds()) / float64(per)
+		runtime.ReadMemStats(&msAfter)
 		if best == 0 || ns < best {
 			best = ns
+			bestAllocs = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(per)
 		}
 	}
 	b := PerfBench{
-		Name:    name,
-		Ops:     per * perfPasses,
-		NsPerOp: best,
+		Name:        name,
+		Ops:         per * perfPasses,
+		NsPerOp:     best,
+		AllocsPerOp: bestAllocs,
 	}
 	if bytesPerOp > 0 && best > 0 {
 		b.MBPerS = float64(bytesPerOp) / best * 1e3

@@ -141,5 +141,11 @@ func runSkew(cfg Config) *Result {
 	tb.AddColumn("ooo LR", oooLR)
 	tb.AddColumn("ooo none", oooNone)
 	tb.AddColumn("max buffered LR", buf)
-	return &Result{ID: "skew", Title: "Skew tolerance", Text: b.String(), Tables: []*stats.Table{tb}}
+
+	// Second act: the peer telemetry plane measuring delay asymmetry
+	// and silent loss from the sender's side (peerskew.go).
+	peerText, peerTable := peerSkewSection(cfg)
+	b.WriteString(peerText)
+	return &Result{ID: "skew", Title: "Skew tolerance", Text: b.String(),
+		Tables: []*stats.Table{tb, peerTable}}
 }

@@ -6,7 +6,8 @@
 // for).
 //
 // The framing plays the role of the data link header: a one-byte
-// codepoint distinguishes marker/credit/reset/member control packets from data
+// codepoint distinguishes control packets (markers, credits, resets,
+// membership, telemetry) from data
 // (the paper's requirement that the lower layer provide demultiplexing
 // for markers), a flag byte and optional sequence number support the
 // "with header" protocol variants, and the data payload is carried
@@ -79,7 +80,7 @@ func DecodeFrame(b []byte) (*packet.Packet, error) {
 	if len(b) < hdrBase {
 		return nil, ErrFrameTooShort
 	}
-	if b[0] > byte(packet.Member) {
+	if b[0] > byte(packet.Telemetry) {
 		return nil, ErrBadCodepoint
 	}
 	flags := b[1]

@@ -49,7 +49,7 @@ const (
 const (
 	healthLossWeight   = 45
 	healthLossKnee     = 1.0 / 3 // full deduction at 33% loss
-	healthResyncWeight = 20  // full deduction when every marker resyncs
+	healthResyncWeight = 20      // full deduction when every marker resyncs
 	healthStallWeight  = 15
 	healthStallKnee    = 0.5 // full deduction when half of sends are vetoed
 	healthLatWeight    = 15
@@ -188,6 +188,9 @@ type HealthReport struct {
 	// Windows is the latest rollup, nil when none is attached or it
 	// has not folded yet.
 	Windows *WindowsSnapshot `json:",omitempty"`
+	// Peer is the peer-reported telemetry view, nil when none is
+	// attached or no telemetry has arrived yet.
+	Peer *PeerSnapshot `json:",omitempty"`
 	// Events are the cumulative protocol-event counts by kind; pollers
 	// difference successive reports to show recent protocol activity.
 	Events map[string]int64 `json:",omitempty"`
@@ -215,6 +218,9 @@ func (c *Collector) HealthReport() HealthReport {
 	r.FairnessDiscrepancy, r.FairnessBound = c.Fairness()
 	if w := c.windows.Load(); w != nil {
 		r.Windows = w.Latest()
+	}
+	if pv := c.peer.Load(); pv != nil {
+		r.Peer = pv.Latest()
 	}
 	for k := Kind(0); k < nKinds; k++ {
 		if n := c.eventCounts[k].Load(); n != 0 {

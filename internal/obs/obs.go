@@ -102,6 +102,7 @@ type Collector struct {
 	checker   atomic.Pointer[Checker]      // runtime invariant checks (invariants.go)
 	creditSrc atomic.Pointer[CreditSource] // credit ledgers for the checker
 	windows   atomic.Pointer[Windows]      // windowed telemetry rollup (window.go)
+	peer      atomic.Pointer[PeerView]     // peer-reported telemetry view (peer.go)
 
 	mu    sync.Mutex // guards sink attachment only
 	sinks atomic.Pointer[[]Sink]
@@ -681,6 +682,12 @@ type Snapshot struct {
 	// is attached or it has not folded yet.
 	Windows *WindowsSnapshot `json:",omitempty"`
 
+	// Peer is the attached peer view's latest publication: the remote
+	// resequencer's reported loss/occupancy and the cross-endpoint
+	// delay estimates. Nil when no PeerView is attached or no telemetry
+	// has arrived yet.
+	Peer *PeerSnapshot `json:",omitempty"`
+
 	// InvariantViolations counts invariant-checker findings; any nonzero
 	// value means a protocol theorem was observed broken at runtime.
 	// Violations holds the most recent findings, oldest first.
@@ -749,6 +756,9 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	if w := c.windows.Load(); w != nil {
 		s.Windows = w.Latest()
+	}
+	if pv := c.peer.Load(); pv != nil {
+		s.Peer = pv.Latest()
 	}
 	if ck := c.checker.Load(); ck != nil {
 		s.InvariantViolations = ck.ViolationCount()

@@ -382,6 +382,46 @@ func WritePrometheus(w io.Writer, cols ...*Collector) {
 		func(base string, sp *WindowSpan, _ []HealthScore) {
 			fsample("stripe_window_covered_seconds", base, "", sp.Covered.Seconds())
 		})
+
+	// Peer telemetry: present only on collectors with a PeerView that
+	// has applied at least one report from the remote resequencer.
+	peered := func(name, typ, help string, emit func(base string, p *PeerSnapshot)) {
+		wrote := false
+		for i := range snaps {
+			p := snaps[i].Peer
+			if p == nil {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+				wrote = true
+			}
+			base := ""
+			if snaps[i].Name != "" {
+				base = `session="` + snaps[i].Name + `"`
+			}
+			emit(base, p)
+		}
+	}
+	peered("stripe_peer_channel_loss_rate", "gauge",
+		"Peer-reported loss fraction per channel (0-1), measured by the remote resequencer's marker reconciliation; catches silent loss.",
+		func(base string, p *PeerSnapshot) {
+			for i := range p.Channels {
+				fsample("stripe_peer_channel_loss_rate", base, chLabel(p.Channels[i].Channel), p.Channels[i].LossFrac)
+			}
+		})
+	peered("stripe_peer_reseq_occupancy", "gauge",
+		"Peer resequencer occupancy as a fraction of its buffer cap (0 when the peer is unbounded).",
+		func(base string, p *PeerSnapshot) {
+			fsample("stripe_peer_reseq_occupancy", base, "", p.OccupancyFrac)
+		})
+	peered("stripe_channel_oneway_delay_nanoseconds", "gauge",
+		"Min-filtered one-way delay sample per channel from marker tx/rx timestamps; embeds the inter-host clock offset, so compare channels, not absolutes.",
+		func(base string, p *PeerSnapshot) {
+			for i := range p.Channels {
+				sample("stripe_channel_oneway_delay_nanoseconds", base, chLabel(p.Channels[i].Channel), p.Channels[i].OneWayDelayNs)
+			}
+		})
 }
 
 // WritePrometheus renders this collector alone; see the package-level

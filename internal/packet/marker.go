@@ -43,6 +43,13 @@ type MarkerBlock struct {
 	// scheduler so the receiver can resynchronize its simulation of a
 	// randomized striper. Zero for deterministic schedulers.
 	RNG uint64
+	// TxNs is the sender-clock timestamp (nanoseconds) at the instant
+	// the marker was cut. Paired with the receiver's arrival clock it
+	// feeds the peer telemetry plane's NTP-style min-filter one-way
+	// delay estimate per channel; each raw sample includes the clock
+	// offset between the two hosts, so only cross-channel differences
+	// are meaningful. Zero means "unstamped" and disables the estimate.
+	TxNs int64
 }
 
 // Marker wire format:
@@ -55,7 +62,8 @@ type MarkerBlock struct {
 //	24     8     credits (cumulative grant)
 //	32     8     sent (cumulative data bytes sent on the channel)
 //	40     8     rng state
-//	48     4     CRC-32C (Castagnoli) over bytes [0,48)
+//	48     8     txns (sender-clock timestamp, two's complement)
+//	56     4     CRC-32C (Castagnoli) over bytes [0,56)
 //
 // The format is fixed-size so markers are cheap to produce and validate
 // even at high rates, and checksummed so a corrupted marker is discarded
@@ -64,7 +72,7 @@ type MarkerBlock struct {
 const (
 	markerMagic = "SMRK"
 	// MarkerWireLen is the encoded size of a marker block in bytes.
-	MarkerWireLen = 52
+	MarkerWireLen = 60
 )
 
 // Errors returned by marker and credit decoding.
@@ -100,7 +108,8 @@ func (m *MarkerBlock) Encode(dst []byte) []byte {
 	binary.BigEndian.PutUint64(b[24:32], m.Credits)
 	binary.BigEndian.PutUint64(b[32:40], m.Sent)
 	binary.BigEndian.PutUint64(b[40:48], m.RNG)
-	binary.BigEndian.PutUint32(b[48:52], ctrlCRC(b[0:48]))
+	binary.BigEndian.PutUint64(b[48:56], uint64(m.TxNs)) // two's-complement wire form, like Deficit
+	binary.BigEndian.PutUint32(b[56:60], ctrlCRC(b[0:56]))
 	return dst
 }
 
@@ -113,7 +122,7 @@ func DecodeMarker(b []byte) (MarkerBlock, error) {
 	if string(b[0:4]) != markerMagic {
 		return m, ErrBadMagic
 	}
-	if ctrlCRC(b[0:48]) != binary.BigEndian.Uint32(b[48:52]) {
+	if ctrlCRC(b[0:56]) != binary.BigEndian.Uint32(b[56:60]) {
 		return m, ErrChecksum
 	}
 	m.Channel = binary.BigEndian.Uint32(b[4:8])
@@ -122,6 +131,7 @@ func DecodeMarker(b []byte) (MarkerBlock, error) {
 	m.Credits = binary.BigEndian.Uint64(b[24:32])
 	m.Sent = binary.BigEndian.Uint64(b[32:40])
 	m.RNG = binary.BigEndian.Uint64(b[40:48])
+	m.TxNs = int64(binary.BigEndian.Uint64(b[48:56])) // inverse of Encode's two's-complement form
 	return m, nil
 }
 

@@ -46,6 +46,14 @@ const (
 	// stripe, carried as a sequenced bitmap of the surviving membership
 	// so announcements are idempotent under loss and reordering.
 	Member
+	// Telemetry carries the receiver's view of the bundle back to the
+	// sender (delivered/lost bytes, resyncs, resequencer occupancy, and
+	// marker receive timestamps) on the marker cadence. Telemetry is
+	// advisory: receivers that do not understand it — or any codepoint
+	// beyond the ones they know — drop it without touching protocol
+	// state, which is the forward-compatibility contract new control
+	// kinds rely on.
+	Telemetry
 )
 
 // String returns the conventional name of the kind.
@@ -61,6 +69,8 @@ func (k Kind) String() string {
 		return "reset"
 	case Member:
 		return "member"
+	case Telemetry:
+		return "telemetry"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -1,0 +1,157 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTelemetryRoundTrip(t *testing.T) {
+	check := func(seq uint64, atNs, buffered, maxBuf int64, a, b TelemetryChannel) bool {
+		blk := TelemetryBlock{
+			Seq: seq, AtNs: atNs, Buffered: buffered, MaxBuffered: maxBuf,
+			Channels: []TelemetryChannel{a, b},
+		}
+		p := NewTelemetry(blk)
+		if p.Kind != Telemetry || len(p.Payload) != TelemetryWireLen(2) {
+			return false
+		}
+		got, err := TelemetryOf(p)
+		if err != nil {
+			return false
+		}
+		return got.Seq == blk.Seq && got.AtNs == blk.AtNs &&
+			got.Buffered == blk.Buffered && got.MaxBuffered == blk.MaxBuffered &&
+			len(got.Channels) == 2 && got.Channels[0] == a && got.Channels[1] == b
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTelemetryEmptyAndFull(t *testing.T) {
+	for _, n := range []int{0, 1, TelemetryMaxChannels} {
+		blk := TelemetryBlock{Seq: 9, AtNs: -5}
+		for i := 0; i < n; i++ {
+			blk.Channels = append(blk.Channels, TelemetryChannel{Delivered: int64(i), Lost: 1})
+		}
+		enc := blk.Encode(nil)
+		if len(enc) != TelemetryWireLen(n) {
+			t.Fatalf("n=%d: len = %d, want %d", n, len(enc), TelemetryWireLen(n))
+		}
+		got, err := DecodeTelemetry(enc)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got.Channels) != n || got.Seq != 9 || got.AtNs != -5 {
+			t.Fatalf("n=%d: decoded %+v", n, got)
+		}
+	}
+}
+
+func TestTelemetryEncodeTruncatesOverfull(t *testing.T) {
+	blk := TelemetryBlock{Channels: make([]TelemetryChannel, TelemetryMaxChannels+3)}
+	got, err := DecodeTelemetry(blk.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Channels) != TelemetryMaxChannels {
+		t.Fatalf("decoded %d channels, want cap %d", len(got.Channels), TelemetryMaxChannels)
+	}
+}
+
+func TestTelemetryDecodeErrors(t *testing.T) {
+	blk := TelemetryBlock{Seq: 1, Channels: []TelemetryChannel{{Delivered: 7}}}
+	enc := blk.Encode(nil)
+
+	if _, err := DecodeTelemetry(enc[:8]); err != ErrBadLength {
+		t.Errorf("truncated header: err = %v, want ErrBadLength", err)
+	}
+	if _, err := DecodeTelemetry(enc[:len(enc)-1]); err != ErrBadLength {
+		t.Errorf("truncated body: err = %v, want ErrBadLength", err)
+	}
+
+	bad := append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, err := DecodeTelemetry(bad); err != ErrBadMagic {
+		t.Errorf("bad magic: err = %v, want ErrBadMagic", err)
+	}
+
+	bad = append([]byte(nil), enc...)
+	bad[36] = TelemetryMaxChannels + 1
+	if _, err := DecodeTelemetry(bad); err != ErrBadTelemetry {
+		t.Errorf("overfull n: err = %v, want ErrBadTelemetry", err)
+	}
+
+	bad = append([]byte(nil), enc...)
+	bad[5] ^= 0xff // corrupt the seq field
+	if _, err := DecodeTelemetry(bad); err != ErrChecksum {
+		t.Errorf("corrupt body: err = %v, want ErrChecksum", err)
+	}
+
+	bad = append([]byte(nil), enc...)
+	bad[len(bad)-1] ^= 0x01 // corrupt the checksum itself
+	if _, err := DecodeTelemetry(bad); err != ErrChecksum {
+		t.Errorf("corrupt crc: err = %v, want ErrChecksum", err)
+	}
+
+	if _, err := TelemetryOf(NewDataSized(48)); err == nil {
+		t.Error("TelemetryOf accepted a data packet")
+	}
+}
+
+func TestTelemetryEncodeAppends(t *testing.T) {
+	prefix := []byte("hdr")
+	blk := TelemetryBlock{Seq: 4}
+	out := blk.Encode(prefix)
+	if !bytes.HasPrefix(out, []byte("hdr")) {
+		t.Fatal("Encode overwrote the prefix")
+	}
+	if _, err := DecodeTelemetry(out[3:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkerTxNsRoundTrip(t *testing.T) {
+	for _, ns := range []int64{0, 1, -1, 1 << 60} {
+		m := MarkerBlock{Channel: 2, TxNs: ns}
+		got, err := DecodeMarker(m.Encode(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TxNs != ns {
+			t.Fatalf("TxNs = %d, want %d", got.TxNs, ns)
+		}
+	}
+}
+
+// FuzzTelemetryBlock hardens the telemetry parser against arbitrary
+// bytes: it must never panic, and anything that decodes must re-encode
+// identically (the CRC pins this down).
+func FuzzTelemetryBlock(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, TelemetryWireLen(1)))
+	for _, n := range []int{0, 1, 3, TelemetryMaxChannels} {
+		blk := TelemetryBlock{Seq: uint64(n), AtNs: -int64(n), Buffered: 1 << 40}
+		for i := 0; i < n; i++ {
+			blk.Channels = append(blk.Channels, TelemetryChannel{
+				Delivered: int64(i) << 32, Lost: -1, MarkerTxNs: int64(i), MarkerRxNs: int64(i) + 5,
+			})
+		}
+		f.Add(blk.Encode(nil))
+	}
+	crcFlip := (&TelemetryBlock{Seq: 7}).Encode(nil)
+	crcFlip[len(crcFlip)-1] ^= 0x01
+	f.Add(crcFlip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeTelemetry(data)
+		if err != nil {
+			return
+		}
+		re := got.Encode(nil)
+		if !bytes.Equal(re, data[:len(re)]) {
+			t.Fatalf("telemetry re-encode mismatch")
+		}
+	})
+}

@@ -183,6 +183,30 @@ type HealthScore = obs.HealthScore
 // Collector.HealthReport assembles it and stripetop renders it.
 type HealthReport = obs.HealthReport
 
+// PeerView folds the telemetry blocks the peer's resequencer reports
+// back into a sender-side view of the remote end: per-channel loss as
+// the receiver measured it (catching silent loss the local error
+// streak never sees), resequencer occupancy, and NTP-style
+// min-filtered one-way delay estimates from marker timestamp pairs.
+// Sessions maintain one automatically and attach it to the Collector;
+// read it via Snapshot.Peer, HealthReport.Peer, or Collector.PeerView.
+type PeerView = obs.PeerView
+
+// PeerSnapshot is one immutable publication of the peer's reported
+// view; see PeerChannel for the per-channel fields.
+type PeerSnapshot = obs.PeerSnapshot
+
+// PeerChannel is one channel's slice of a PeerSnapshot: the peer's
+// cumulative delivery/loss/resync counters, the loss-fraction EWMA,
+// and the one-way delay estimate (absolute value embeds the inter-host
+// clock offset; RelativeDelayNs is offset-free).
+type PeerChannel = obs.PeerChannel
+
+// NewPeerView returns a peer view sized for n channels, for embedders
+// driving core.Resequencer/Striper directly; sessions create their
+// own.
+func NewPeerView(n int) *PeerView { return obs.NewPeerView(n) }
+
 // ReceiverStats are the receive-side protocol counters returned by
 // Receiver.Stats and Session.Stats; see doc.go for field meanings.
 type ReceiverStats = core.ResequencerStats

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"stripe/internal/channel"
+	"stripe/internal/packet"
 	"stripe/internal/trace"
 )
 
@@ -202,6 +203,115 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if code, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// TestHealthEndpointBareCollector pins the health handler's contract
+// for a collector with no windowed rollup and no peer view attached:
+// HTTP 200, Content-Type application/json, and a well-formed report
+// whose optional sections are simply absent — never a panic or a
+// malformed payload.
+func TestHealthEndpointBareCollector(t *testing.T) {
+	col := NewNamedCollector("bare", 2)
+	srv, err := Serve("127.0.0.1:0", col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/stripe/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var hr struct {
+		Sessions []HealthReport
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatalf("health payload not valid JSON: %v", err)
+	}
+	if len(hr.Sessions) != 1 {
+		t.Fatalf("sessions = %d, want 1", len(hr.Sessions))
+	}
+	h := hr.Sessions[0]
+	if h.Session != "bare" || h.Channels != 2 {
+		t.Fatalf("report identity wrong: %+v", h)
+	}
+	if h.Windows != nil {
+		t.Fatalf("Windows section present without a rollup: %+v", h.Windows)
+	}
+	if h.Peer != nil {
+		t.Fatalf("Peer section present without a peer view: %+v", h.Peer)
+	}
+}
+
+// TestHealthEndpointPeerSection checks the peer section end to end:
+// a collector with an attached PeerView that has applied one telemetry
+// block serves it under Peer.
+func TestHealthEndpointPeerSection(t *testing.T) {
+	col := NewNamedCollector("peered", 2)
+	pv := NewPeerView(2)
+	col.SetPeerView(pv)
+	pv.Apply(packet.TelemetryBlock{
+		Seq: 1, AtNs: 1e9, Buffered: 3, MaxBuffered: 12,
+		Channels: []packet.TelemetryChannel{
+			{Delivered: 9000, Lost: 1000, MarkerTxNs: 100, MarkerRxNs: 2100},
+			{Delivered: 10000, MarkerTxNs: 100, MarkerRxNs: 150},
+		},
+	}, 2e9)
+
+	srv, err := Serve("127.0.0.1:0", col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/stripe/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr struct {
+		Sessions []HealthReport
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatalf("health payload not valid JSON: %v", err)
+	}
+	if len(hr.Sessions) != 1 || hr.Sessions[0].Peer == nil {
+		t.Fatalf("peer section missing: %+v", hr.Sessions)
+	}
+	p := hr.Sessions[0].Peer
+	if p.Seq != 1 || len(p.Channels) != 2 {
+		t.Fatalf("peer snapshot wrong: %+v", p)
+	}
+	if p.Channels[0].LossFrac <= p.Channels[1].LossFrac {
+		t.Fatalf("peer loss not surfaced: %+v", p.Channels)
+	}
+	if p.Channels[0].OneWayDelayNs <= p.Channels[1].OneWayDelayNs {
+		t.Fatalf("one-way delay estimates not surfaced: %+v", p.Channels)
+	}
+
+	// The Prometheus surface carries the matching peer gauges.
+	mresp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		`stripe_peer_channel_loss_rate{session="peered",channel="0"}`,
+		`stripe_peer_reseq_occupancy{session="peered"}`,
+		`stripe_channel_oneway_delay_nanoseconds{session="peered",channel="1"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q\n%s", want, body)
+		}
 	}
 }
 

@@ -69,8 +69,18 @@ type HealthConfig struct {
 	ScoreEvictBelow int
 	// ScoreStreak is the number of consecutive below-threshold rollup
 	// windows required before a score eviction. Default 2; values below
-	// 1 select the default.
+	// 1 select the default. Shared by the peer-score rule, where it
+	// counts consecutive below-threshold peer reports instead.
 	ScoreStreak int
+	// PeerScoreEvictBelow, when positive, adds eviction on the peer's
+	// evidence: an active channel whose peer-reported score (loss as the
+	// *receiver* measured it, plus resync rate) stays below this
+	// threshold (0-100) for ScoreStreak consecutive telemetry reports is
+	// evicted. This is the rule that catches silent loss — a transport
+	// that accepts every send but delivers nothing keeps the local error
+	// streak at zero forever; only the peer can report the bytes never
+	// arrived. Zero disables peer-score eviction.
+	PeerScoreEvictBelow int
 }
 
 // Session is one end of a duplex striped connection: a Sender for this
@@ -103,6 +113,12 @@ type Session struct {
 	lowScore   []int       // consecutive below-threshold health-score windows
 	lastFoldAt int64       // AtNs of the newest rollup the score check consumed
 
+	// Peer telemetry plane (guarded by mu where noted; the PeerView has
+	// its own internal synchronization).
+	peer        *obs.PeerView
+	peerLow     []int  // consecutive below-threshold peer reports (mu)
+	lastPeerSeq uint64 // Seq of the newest peer report the check consumed (mu)
+
 	// one is Send's batch of one (guarded by mu), so the single-packet
 	// path rides sendBatchLocked without allocating a slice per call.
 	one [1]*packet.Packet
@@ -129,6 +145,8 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 	s.probeOK = make([]int, n)
 	s.lastMarker = make([]time.Time, n)
 	s.lowScore = make([]int, n)
+	s.peerLow = make([]int, n)
+	s.peer = obs.NewPeerView(n)
 	s.autoMaxBuf = cfg.MaxBuffered == 0 && cfg.CreditWindow > 0
 
 	// Receive side first: the credit manager reads its drain counters.
@@ -161,6 +179,11 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 		// peer's announced membership onto this end's transmit side, so
 		// either end removing a channel retires the full duplex link.
 		OnMembership: func(c int, joined bool) { s.onPeerMembership(c, joined) },
+		// Invoked from the receive path with s.mu already held: fold the
+		// peer's reported view of this end's transmit channels.
+		OnTelemetry: func(t packet.TelemetryBlock) {
+			s.peer.Apply(t, time.Now().UnixNano())
+		},
 	}
 	if cfg.Mode == ModeLogical {
 		sc, err := cfg.sched()
@@ -236,6 +259,9 @@ func NewSession(channels []ChannelSender, cfg SessionConfig) (*Session, error) {
 		return nil, err
 	}
 	s.st = st
+	// Expose the peer view on the collector, so Snapshot, the health
+	// endpoint, and the Prometheus export all carry the peer section.
+	cfg.Collector.SetPeerView(s.peer)
 
 	interval := cfg.MarkerInterval
 	if interval == 0 {
@@ -257,6 +283,12 @@ func (s *Session) markerTimer(interval time.Duration) {
 		case <-t.C:
 			s.mu.Lock()
 			s.st.EmitMarkers()
+			// Report this end's receive-side view back to the peer on the
+			// same cadence the markers flow at. A send error feeds the
+			// chosen channel's error streak, which the health tick below
+			// already consumes; beyond that a lost report is harmless —
+			// telemetry is cumulative and the next tick supersedes it.
+			_ = s.st.SendTelemetry(s.rs.TelemetryBlock())
 			s.healthTick()
 			s.mu.Unlock()
 		}
@@ -493,6 +525,13 @@ func (s *Session) Snapshot() Snapshot {
 	return s.col.Snapshot()
 }
 
+// PeerView returns the session's peer telemetry view: the remote
+// resequencer's reported loss, occupancy, and marker timestamp pairs,
+// folded into per-channel scores and one-way delay estimates. The view
+// is live (it updates as reports arrive) and safe for concurrent use;
+// before the first report Latest returns nil.
+func (s *Session) PeerView() *obs.PeerView { return s.peer }
+
 // CreditRemaining reports the unused grant for channel c (0 when flow
 // control is disabled).
 func (s *Session) CreditRemaining(c int) int64 {
@@ -705,15 +744,60 @@ func (s *Session) scoreTick() {
 	}
 }
 
+// peerTick runs the peer-evidence eviction check: an active channel
+// whose peer-reported score stays below HealthConfig.PeerScoreEvictBelow
+// for ScoreStreak consecutive telemetry reports is evicted, with the
+// peer score as the eviction value. Each distinct report advances a
+// channel's streak at most once (the marker timer can tick faster than
+// peer reports arrive). This is the only rule that sees silent loss:
+// the transport accepts every send, so the local error streak never
+// moves, but the peer's resequencer measured the bytes that never
+// arrived. Caller holds s.mu.
+func (s *Session) peerTick() {
+	threshold := s.health.PeerScoreEvictBelow
+	if threshold <= 0 {
+		return
+	}
+	snap := s.peer.Latest()
+	if snap == nil || snap.Seq == s.lastPeerSeq {
+		return
+	}
+	s.lastPeerSeq = snap.Seq
+	streak := s.health.ScoreStreak
+	if streak < 1 {
+		streak = 2
+	}
+	for i := range snap.Channels {
+		pc := &snap.Channels[i]
+		c := pc.Channel
+		if c < 0 || c >= s.n {
+			continue
+		}
+		if s.st.Member(c) != core.MemberActive {
+			s.peerLow[c] = 0
+			continue
+		}
+		if pc.Score >= threshold {
+			s.peerLow[c] = 0
+			continue
+		}
+		if s.peerLow[c]++; s.peerLow[c] >= streak && s.st.ActiveN() > 1 {
+			s.evictLocked(c, int64(pc.Score))
+			s.peerLow[c] = 0
+		}
+	}
+}
+
 // healthTick runs the periodic health checks: error-streak,
-// marker-silence, and windowed-health-score eviction for active
-// channels, liveness probes and reinstatement for evicted ones. Runs
-// on the marker timer with s.mu held.
+// marker-silence, windowed-health-score, and peer-score eviction for
+// active channels, liveness probes and reinstatement for evicted ones.
+// Runs on the marker timer with s.mu held.
 func (s *Session) healthTick() {
 	if s.health.Disable {
 		return
 	}
 	s.scoreTick()
+	s.peerTick()
 	now := time.Now()
 	for c := 0; c < s.n; c++ {
 		switch {

@@ -34,11 +34,12 @@ func GetPacketSized(n int) *Packet { return packet.GetSized(n) }
 
 // Kinds, for inspecting packets read directly off channels.
 const (
-	KindData   = packet.Data
-	KindMarker = packet.Marker
-	KindCredit = packet.Credit
-	KindReset  = packet.Reset
-	KindMember = packet.Member
+	KindData      = packet.Data
+	KindMarker    = packet.Marker
+	KindCredit    = packet.Credit
+	KindReset     = packet.Reset
+	KindMember    = packet.Member
+	KindTelemetry = packet.Telemetry
 )
 
 // MemberState is one channel slot's position in the membership
