@@ -151,6 +151,7 @@ func main() {
 	}
 
 	fmt.Printf("striping %d packets over %d UDP channels (loss %.0f%%)\n", *n, nch, *loss*100)
+	//stripe:allowleak bounded: sends *n packets plus 20 marker ticks and exits on its own
 	go func() {
 		for i := 0; i < *n; i++ {
 			payload := make([]byte, 400+((i*37)%800))
@@ -171,12 +172,31 @@ func main() {
 	lastID := -1
 	deadline := time.After(5 * time.Second)
 	var order []int
+	// One reader goroutine feeds the collect loop and announces its own
+	// exit by closing results; it stops either when the stop channel
+	// closes (deadline path) or when rx.Close unblocks Recv with nil.
+	results := make(chan *stripe.Packet)
+	go func() {
+		defer close(results)
+		for {
+			p := rx.Recv()
+			if p == nil {
+				return
+			}
+			select {
+			case results <- p:
+			case <-stop:
+				return
+			}
+		}
+	}()
 collect:
 	for delivered < *n {
-		done := make(chan *stripe.Packet, 1)
-		go func() { done <- rx.Recv() }()
 		select {
-		case p := <-done:
+		case p, ok := <-results:
+			if !ok {
+				break collect
+			}
 			var id int
 			fmt.Sscanf(string(p.Payload), "pkt-%d", &id)
 			order = append(order, id)
@@ -195,6 +215,7 @@ collect:
 	}
 	close(stop)
 	pumps.Wait()
+	rx.Close() // unblocks a Recv parked in the reader goroutine
 
 	st := rx.Stats()
 	fmt.Printf("\ndelivered %d/%d packets, %d out of order\n", delivered, *n, late)

@@ -6,14 +6,22 @@
 //	go run ./cmd/stripevet ./internal/... # a subtree
 //	go run ./cmd/stripevet -list          # passes and their rules
 //	go run ./cmd/stripevet -pass hotpath,intwidth ./...
+//	go run ./cmd/stripevet -json ./...    # machine-readable findings
 //
 // Patterns are module-relative directory patterns in the go tool's
 // style ("./..." recurses). Every pass runs over its own scope (the
 // intwidth pass, for example, polices only the deficit/credit/codec
 // packages); any finding exits non-zero.
+//
+// With -json, findings are emitted as one JSON array of objects with
+// file, line, col, pass, rule, and message fields (rule falls back to
+// the pass name for passes that predate per-rule tagging). The plain
+// rendering stays `file:line:col: [pass] message` — the GitHub Actions
+// problem matcher in .github/stripevet-problem-matcher.json parses it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,10 +31,21 @@ import (
 	"stripe/internal/analysis"
 )
 
+// jsonDiagnostic is the -json wire shape of one finding.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Pass    string `json:"pass"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list passes and exit")
-		passes = flag.String("pass", "", "comma-separated pass names (default: all)")
+		list    = flag.Bool("list", false, "list passes and exit")
+		passes  = flag.String("pass", "", "comma-separated pass names (default: all)")
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	)
 	flag.Parse()
 
@@ -74,12 +93,32 @@ func main() {
 		all = append(all, p.RunScoped(prog, pkgs)...)
 	}
 	analysis.SortDiagnostics(all)
-	for _, d := range all {
-		rel := d
-		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-			rel.Pos.Filename = r
+	for i := range all {
+		if r, err := filepath.Rel(root, all[i].Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			all[i].Pos.Filename = r
 		}
-		fmt.Println(rel)
+	}
+	if *jsonOut {
+		out := make([]jsonDiagnostic, len(all))
+		for i, d := range all {
+			rule := d.Rule
+			if rule == "" {
+				rule = d.Pass
+			}
+			out[i] = jsonDiagnostic{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Pass: d.Pass, Rule: rule, Message: d.Msg,
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range all {
+			fmt.Println(d)
+		}
 	}
 	if len(all) > 0 {
 		fmt.Fprintf(os.Stderr, "stripevet: %d finding(s)\n", len(all))

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"stripe/internal/analysis"
+)
+
+// sampleDiag is a rendered finding in the shape main prints: the
+// Diagnostic String format the problem matcher must keep parsing.
+var sampleDiag = analysis.Diagnostic{
+	Pos:  token.Position{Filename: "internal/core/striper.go", Line: 42, Column: 7},
+	Pass: "lockorder",
+	Rule: "cycle",
+	Msg:  "lock-order cycle: A.mu -> B.mu -> A.mu (one edge witnessed here; acquire these locks in one global order)",
+}
+
+// TestProblemMatcherParsesDiagnostics compiles the GitHub Actions
+// problem matcher shipped in .github and asserts it captures the
+// file/line/column/pass/message groups from a rendered diagnostic, so
+// the annotation pipeline cannot silently rot when the rendering or
+// the matcher changes.
+func TestProblemMatcherParsesDiagnostics(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", ".github", "stripevet-problem-matcher.json"))
+	if err != nil {
+		t.Fatalf("reading problem matcher: %v", err)
+	}
+	var matcher struct {
+		ProblemMatcher []struct {
+			Owner   string `json:"owner"`
+			Pattern []struct {
+				Regexp  string `json:"regexp"`
+				File    int    `json:"file"`
+				Line    int    `json:"line"`
+				Column  int    `json:"column"`
+				Code    int    `json:"code"`
+				Message int    `json:"message"`
+			} `json:"pattern"`
+		} `json:"problemMatcher"`
+	}
+	if err := json.Unmarshal(raw, &matcher); err != nil {
+		t.Fatalf("parsing problem matcher: %v", err)
+	}
+	if len(matcher.ProblemMatcher) != 1 || len(matcher.ProblemMatcher[0].Pattern) != 1 {
+		t.Fatalf("expected exactly one matcher with one pattern, got %+v", matcher)
+	}
+	pat := matcher.ProblemMatcher[0].Pattern[0]
+	re, err := regexp.Compile(pat.Regexp)
+	if err != nil {
+		t.Fatalf("matcher regexp does not compile: %v", err)
+	}
+
+	line := sampleDiag.String()
+	m := re.FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("matcher regexp %q does not match rendered diagnostic %q", pat.Regexp, line)
+	}
+	for _, check := range []struct {
+		name  string
+		group int
+		want  string
+	}{
+		{"file", pat.File, "internal/core/striper.go"},
+		{"line", pat.Line, "42"},
+		{"column", pat.Column, "7"},
+		{"code", pat.Code, "lockorder"},
+		{"message", pat.Message, sampleDiag.Msg},
+	} {
+		if check.group <= 0 || check.group >= len(m) {
+			t.Errorf("matcher %s group %d out of range", check.name, check.group)
+			continue
+		}
+		if m[check.group] != check.want {
+			t.Errorf("matcher %s group = %q, want %q", check.name, m[check.group], check.want)
+		}
+	}
+}
+
+// TestJSONShapeRoundTrips pins the -json wire shape: every field is
+// present, and an empty Rule falls back to the pass name the way main
+// emits it.
+func TestJSONShapeRoundTrips(t *testing.T) {
+	d := sampleDiag
+	d.Rule = "" // a pass predating per-rule tagging
+	rule := d.Rule
+	if rule == "" {
+		rule = d.Pass
+	}
+	out, err := json.Marshal(jsonDiagnostic{
+		File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+		Pass: d.Pass, Rule: rule, Message: d.Msg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"file", "line", "col", "pass", "rule", "message"} {
+		if _, ok := back[key]; !ok {
+			t.Errorf("-json output misses key %q: %s", key, out)
+		}
+	}
+	if back["rule"] != "lockorder" {
+		t.Errorf("rule fallback = %v, want pass name", back["rule"])
+	}
+}

@@ -47,6 +47,10 @@ import (
 type Diagnostic struct {
 	Pos  token.Position
 	Pass string
+	// Rule is the pass's finer-grained rule slug (e.g. "kind-bound",
+	// "cycle"); empty for passes predating -json, which report under
+	// their pass name alone.
+	Rule string
 	Msg  string
 }
 
@@ -94,7 +98,7 @@ type Pass struct {
 }
 
 // Passes is the full stripevet suite, in reporting order.
-var Passes = []*Pass{HotPath, AtomicField, IntWidth, SinkDiscipline}
+var Passes = []*Pass{HotPath, AtomicField, IntWidth, SinkDiscipline, WireSym, LockOrder, GoroLeak}
 
 // RunScoped runs the pass over the packages its scope accepts and
 // returns the findings sorted by position.

@@ -133,6 +133,9 @@ func TestHotPathCorpus(t *testing.T)        { runCorpus(t, HotPath, "hotpath") }
 func TestAtomicFieldCorpus(t *testing.T)    { runCorpus(t, AtomicField, "atomicfield") }
 func TestIntWidthCorpus(t *testing.T)       { runCorpus(t, IntWidth, "intwidth") }
 func TestSinkDisciplineCorpus(t *testing.T) { runCorpus(t, SinkDiscipline, "sinkdiscipline") }
+func TestWireSymCorpus(t *testing.T)        { runCorpus(t, WireSym, "wiresym") }
+func TestLockOrderCorpus(t *testing.T)      { runCorpus(t, LockOrder, "lockorder") }
+func TestGoroLeakCorpus(t *testing.T)       { runCorpus(t, GoroLeak, "goroleak") }
 
 // TestRepoClean is the green half of the corpus's red: the whole
 // module, under every pass at its CLI scope, must be finding-free.

@@ -19,15 +19,40 @@ import (
 //	    (marker batches, reset handling, error construction, sampled
 //	    retention). The reason is mandatory: an escape hatch without a
 //	    justification is itself a finding.
+//	//stripe:locks <name><name2[<name3...]
+//	    Declares the global lock-acquisition order for the named locks
+//	    (rendered as Owner.field for struct mutexes, pkg.var for
+//	    package-level ones). May appear in any comment in a scoped
+//	    package; the lockorder pass flags discovered acquisitions that
+//	    contradict a declared order.
+//
+//	//stripe:allowblock <reason>
+//	    The function is exempt from the lockorder blocking rules
+//	    (channel ops, net I/O, Cond.Wait under foreign locks) — for
+//	    code that blocks under lock by design. The reason is mandatory.
+//
+//	//stripe:allowleak <reason>
+//	    The `go` statement (same or previous line, or the enclosing
+//	    function's doc comment) is exempt from the goroleak tracked-
+//	    shutdown rule — for goroutines whose termination is bounded by
+//	    construction rather than by a done channel / WaitGroup /
+//	    context. The reason is mandatory.
 const (
 	directiveHotPath     = "//stripe:hotpath"
 	directiveAllowEscape = "//stripe:allowescape"
+	directiveLocks       = "//stripe:locks"
+	directiveAllowBlock  = "//stripe:allowblock"
+	directiveAllowLeak   = "//stripe:allowleak"
 )
 
 type annotations struct {
 	hotpath     bool
 	allowescape bool
 	escapeWhy   string
+	allowblock  bool
+	blockWhy    string
+	allowleak   bool
+	leakWhy     string
 }
 
 // annotationsOf parses the stripe directives from a function's doc
@@ -46,6 +71,12 @@ func annotationsOf(fd *ast.FuncDecl) annotations {
 		case text == directiveAllowEscape || strings.HasPrefix(text, directiveAllowEscape+" "):
 			a.allowescape = true
 			a.escapeWhy = strings.TrimSpace(strings.TrimPrefix(text, directiveAllowEscape))
+		case text == directiveAllowBlock || strings.HasPrefix(text, directiveAllowBlock+" "):
+			a.allowblock = true
+			a.blockWhy = strings.TrimSpace(strings.TrimPrefix(text, directiveAllowBlock))
+		case text == directiveAllowLeak || strings.HasPrefix(text, directiveAllowLeak+" "):
+			a.allowleak = true
+			a.leakWhy = strings.TrimSpace(strings.TrimPrefix(text, directiveAllowLeak))
 		}
 	}
 	return a

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak ties every goroutine to a tracked shutdown path. A `go`
+// statement in the protocol packages must start work that can be told
+// to stop from Close/Stop — otherwise the many-session roadmap turns
+// each session teardown into a slow goroutine leak. A goroutine counts
+// as tracked when its static reach (the spawned body plus everything
+// reachable through static in-module calls) contains any of:
+//
+//   - a receive, select, or range over a channel that some function in
+//     the module closes (the captured done/closed channel idiom);
+//   - a close of a channel that some function in the module receives
+//     from (the completion-signal idiom: the goroutine announces its
+//     own exit and Close waits for it);
+//   - a (*sync.WaitGroup).Done call (the spawner waits);
+//   - a receive from a context.Context's Done channel.
+//
+// Goroutines that terminate by construction (bounded demo senders,
+// accept helpers unblocked by closing the listener) carry
+// `//stripe:allowleak <reason>` — on the go statement's line, the line
+// above it, or the enclosing function's doc comment. The reason is
+// mandatory; a goroutine whose target is dynamic (a func value) cannot
+// be analyzed and needs the annotation too.
+const goroLeakName = "goroleak"
+
+var GoroLeak = &Pass{
+	Name: goroLeakName,
+	Doc:  "every goroutine is tied to a tracked shutdown path (done channel, WaitGroup, or context) or annotated",
+	InScope: func(pkgPath string) bool {
+		if !strings.Contains(pkgPath, "/") {
+			return true // module root package
+		}
+		return strings.Contains(pkgPath, "/internal/") ||
+			(strings.Contains(pkgPath, "/cmd/") && !strings.Contains(pkgPath, "/examples/"))
+	},
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(prog *Program, pkgs []*Package) []Diagnostic {
+	var ds []Diagnostic
+	report := func(rule string, pos token.Pos, format string, args ...any) {
+		ds = append(ds, Diagnostic{
+			Pos:  prog.Fset.Position(pos),
+			Pass: goroLeakName,
+			Rule: rule,
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	g := NewCallGraph(prog, pkgs)
+	closed, received := chanLifecycle(prog)
+
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			leakLines := allowleakLines(prog, file)
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ann := annotationsOf(fd)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					gs, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					w := goWaiver(prog, gs, fd, ann, leakLines)
+					if w == waiverBare {
+						report("annotation", gs.Pos(), "%s: //stripe:allowleak needs a reason", fd.Name.Name)
+						return true
+					}
+					if w == waiverOK {
+						return true
+					}
+					checkGoStmt(prog, g, pkg, fd, gs, closed, received, report)
+					return true
+				})
+			}
+		}
+	}
+	return ds
+}
+
+type waiver int
+
+const (
+	waiverNone waiver = iota
+	waiverOK
+	waiverBare // annotation present but reasonless
+)
+
+// goWaiver resolves the //stripe:allowleak waiver for one go statement:
+// the enclosing function's doc annotation, or a line comment on the
+// statement's line or the line above it.
+func goWaiver(prog *Program, gs *ast.GoStmt, fd *ast.FuncDecl, ann annotations, leakLines map[int]string) waiver {
+	if ann.allowleak {
+		if ann.leakWhy == "" {
+			return waiverBare
+		}
+		return waiverOK
+	}
+	line := prog.Fset.Position(gs.Pos()).Line
+	for _, l := range []int{line, line - 1} {
+		if why, ok := leakLines[l]; ok {
+			if why == "" {
+				return waiverBare
+			}
+			return waiverOK
+		}
+	}
+	return waiverNone
+}
+
+// allowleakLines maps comment lines carrying //stripe:allowleak to
+// their reason.
+func allowleakLines(prog *Program, file *ast.File) map[int]string {
+	out := make(map[int]string)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if text == directiveAllowLeak || strings.HasPrefix(text, directiveAllowLeak+" ") {
+				line := prog.Fset.Position(c.Pos()).Line
+				out[line] = strings.TrimSpace(strings.TrimPrefix(text, directiveAllowLeak))
+			}
+		}
+	}
+	return out
+}
+
+// chanSignals is what one body contributes toward shutdown tracking.
+type chanSignals struct {
+	recvs   map[*types.Var]bool // channels received/selected/ranged from
+	closes  map[*types.Var]bool // channels closed
+	ctxDone bool                // receives from a context.Context.Done()
+	wgDone  bool                // calls (*sync.WaitGroup).Done
+}
+
+// scanSignals collects shutdown signals from a body, not descending
+// into nested `go` statements (their goroutines are judged separately).
+func scanSignals(info *types.Info, body ast.Node, s *chanSignals) {
+	recvExpr := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if call, ok := e.(*ast.CallExpr); ok {
+			if callee := calleeOf(info, call); callee != nil &&
+				callee.Name() == "Done" && pkgPathOf(callee) == "context" {
+				s.ctxDone = true
+			}
+			return
+		}
+		if v := varOfExpr(info, e); v != nil {
+			s.recvs[v] = true
+		}
+	}
+	inspectSync(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				recvExpr(n.X)
+			}
+		case *ast.RangeStmt:
+			if n.X != nil {
+				if t := info.Types[n.X].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						recvExpr(n.X)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "close") && len(n.Args) == 1 {
+				if v := varOfExpr(info, n.Args[0]); v != nil {
+					s.closes[v] = true
+				}
+				return
+			}
+			callee := calleeOf(info, n)
+			if callee != nil && callee.Name() == "Done" && pkgPathOf(callee) == "sync" {
+				if recv := receiverNamed(callee); recv != nil && recv.Obj().Name() == "WaitGroup" {
+					s.wgDone = true
+				}
+			}
+		}
+	})
+}
+
+// chanLifecycle scans the whole program for channel close and receive
+// sites (types.Var identity holds program-wide, so a field closed in
+// Close matches a receive in a goroutine of another package).
+func chanLifecycle(prog *Program) (closed, received map[*types.Var]bool) {
+	closed = make(map[*types.Var]bool)
+	received = make(map[*types.Var]bool)
+	for _, pkg := range prog.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isBuiltin(info, n, "close") && len(n.Args) == 1 {
+						if v := varOfExpr(info, n.Args[0]); v != nil {
+							closed[v] = true
+						}
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						if v := varOfExpr(info, n.X); v != nil {
+							received[v] = true
+						}
+					}
+				case *ast.RangeStmt:
+					if n.X != nil {
+						if t := info.Types[n.X].Type; t != nil {
+							if _, ok := t.Underlying().(*types.Chan); ok {
+								if v := varOfExpr(info, n.X); v != nil {
+									received[v] = true
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return closed, received
+}
+
+// checkGoStmt judges one unwaived go statement.
+func checkGoStmt(prog *Program, g *CallGraph, pkg *Package, fd *ast.FuncDecl, gs *ast.GoStmt,
+	closed, received map[*types.Var]bool, report func(string, token.Pos, string, ...any)) {
+	sig := &chanSignals{recvs: make(map[*types.Var]bool), closes: make(map[*types.Var]bool)}
+	var roots []*types.Func
+
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		scanSignals(pkg.Info, lit.Body, sig)
+		// Static callees inside the literal extend the reach.
+		inspectSync(lit.Body, func(n ast.Node) {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := calleeOf(pkg.Info, call); callee != nil && prog.declOf(callee) != nil {
+					roots = append(roots, callee)
+				}
+			}
+		})
+	} else if callee := calleeOf(pkg.Info, gs.Call); callee != nil && prog.declOf(callee) != nil {
+		roots = append(roots, callee)
+	} else {
+		report("untracked", gs.Pos(),
+			"%s: goroutine target is dynamic (func value); its shutdown cannot be verified — bind it statically or annotate //stripe:allowleak <reason>",
+			fd.Name.Name)
+		return
+	}
+
+	for fn := range g.Reachable(roots...) {
+		if d := prog.declOf(fn); d != nil && d.decl.Body != nil {
+			scanSignals(d.pkg.Info, d.decl.Body, sig)
+		}
+	}
+
+	if sig.ctxDone || sig.wgDone {
+		return
+	}
+	for v := range sig.recvs {
+		if closed[v] {
+			return // waits on a channel somebody closes
+		}
+	}
+	for v := range sig.closes {
+		if received[v] {
+			return // announces completion to somebody who waits
+		}
+	}
+	report("untracked", gs.Pos(),
+		"%s: goroutine has no tracked shutdown path (no closed done channel, WaitGroup.Done, or context cancellation in its static reach); tie it to Close/Stop or annotate //stripe:allowleak <reason>",
+		fd.Name.Name)
+}

@@ -1,0 +1,547 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockOrder builds a static lock-acquisition graph over the session
+// and its protocol engines and enforces the discipline that kept the
+// Close lost-wakeup fix honest:
+//
+//   - cycle: two code paths that acquire the same pair of locks in
+//     opposite orders can deadlock; the acquisition graph (edges from
+//     every held lock to each newly acquired one, intraprocedurally
+//     plus through static-call summaries) must be acyclic.
+//   - order: `//stripe:locks A<B` comments declare the intended global
+//     order; a discovered acquisition contradicting a declaration is a
+//     finding even before a full cycle exists.
+//   - relock: re-acquiring a mutex already held (directly, or by
+//     calling a function whose summary acquires it) self-deadlocks —
+//     Go mutexes are not reentrant.
+//   - wait-holding / wake-holding: Cond.Wait parks holding only the
+//     cond's own lock; waking or waiting while a foreign lock is held
+//     extends that lock's hold time across a scheduling boundary.
+//   - block-holding / netio-holding: blocking channel operations or
+//     calls into package net while multiple locks are held (one lock
+//     for net I/O) stall every path that needs them.
+//   - unlock-path: a lock taken in a function must be released on
+//     every return path (deferred unlocks count), mirroring what the
+//     runtime's mutex profiler can only observe after the hang.
+//
+// `//stripe:allowblock <reason>` on a function exempts it from the
+// blocking rules (only those); the reason is mandatory. Dynamic calls
+// (interface methods, func values) end summary traversal, exactly like
+// the hotpath pass: the channel and sink interfaces are designed seams.
+const lockOrderName = "lockorder"
+
+var LockOrder = &Pass{
+	Name: lockOrderName,
+	Doc:  "lock acquisitions are acyclic, declared-order-consistent, and never wrap blocking ops or leak past returns",
+	InScope: func(pkgPath string) bool {
+		if !strings.Contains(pkgPath, "/") {
+			return true // the module root package (session, serve, stripe)
+		}
+		for _, s := range []string{"/internal/core", "/internal/flowcontrol", "/internal/obs"} {
+			if strings.HasSuffix(pkgPath, s) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runLockOrder,
+}
+
+func runLockOrder(prog *Program, pkgs []*Package) []Diagnostic {
+	var ds []Diagnostic
+	report := func(rule string, pos token.Pos, format string, args ...any) {
+		ds = append(ds, Diagnostic{
+			Pos:  prog.Fset.Position(pos),
+			Pass: lockOrderName,
+			Rule: rule,
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	g := NewCallGraph(prog, pkgs)
+	li := ComputeLockInfo(prog, g)
+	declared := parseLockDecls(prog, pkgs, li, report)
+	order := NewGraph()
+
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ann := annotationsOf(fd)
+				if ann.allowblock && ann.blockWhy == "" {
+					report("annotation", fd.Pos(), "%s: //stripe:allowblock needs a reason",
+						fd.Name.Name)
+				}
+				w := &lockWalker{
+					prog: prog, pkg: pkg, li: li, fd: fd,
+					comms: selectCommOps(fd.Body), allowBlock: ann.allowblock,
+					order: order, declared: declared, report: report,
+				}
+				held, terminated := w.walkBlock(fd.Body.List, nil)
+				if !terminated {
+					for _, h := range held {
+						if !h.deferred {
+							report("unlock-path", h.pos, "%s: %s locked here is not unlocked on every path",
+								fd.Name.Name, li.LockName(h.v))
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, cyc := range order.Cycles() {
+		pos := token.NoPos
+		next := cyc[(0+1)%len(cyc)]
+		if e, ok := order.Edge(cyc[0], next); ok {
+			pos = e.Pos
+		}
+		report("cycle", pos, "lock-order cycle: %s (one edge witnessed here; acquire these locks in one global order)",
+			CycleString(cyc))
+	}
+	return ds
+}
+
+// parseLockDecls collects //stripe:locks A<B<C declarations from every
+// comment in the analyzed packages, expanding a chain to all implied
+// ordered pairs. Unknown lock names are findings: a declaration that
+// names nothing real enforces nothing.
+func parseLockDecls(prog *Program, pkgs []*Package, li *LockInfo, report func(string, token.Pos, string, ...any)) map[[2]string]token.Pos {
+	known := make(map[string]bool)
+	for _, name := range li.names {
+		known[name] = true
+	}
+	declared := make(map[[2]string]token.Pos)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(c.Text)
+					rest, ok := strings.CutPrefix(text, directiveLocks)
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					names := strings.Split(strings.TrimSpace(rest), "<")
+					if len(names) < 2 {
+						report("annotation", c.Pos(), "//stripe:locks needs at least two '<'-separated lock names")
+						continue
+					}
+					for i := range names {
+						names[i] = strings.TrimSpace(names[i])
+						if !known[names[i]] {
+							report("annotation", c.Pos(), "//stripe:locks names unknown lock %q (locks render as Owner.field or pkg.var)", names[i])
+						}
+					}
+					for i := 0; i < len(names); i++ {
+						for j := i + 1; j < len(names); j++ {
+							declared[[2]string{names[i], names[j]}] = c.Pos()
+						}
+					}
+				}
+			}
+		}
+	}
+	return declared
+}
+
+// heldLock is one mutex the walker believes the current function holds.
+type heldLock struct {
+	v        *types.Var
+	pos      token.Pos // acquisition site
+	deferred bool      // release is scheduled via defer
+}
+
+// lockWalker walks one function body in source order, tracking the
+// held-lock set. Branches are walked on copies; when both arms continue
+// the held sets are intersected (a lock released on only one arm stops
+// being assumed held). Loop bodies are walked once on a copy for their
+// findings, with effects discarded — the conservative direction.
+type lockWalker struct {
+	prog       *Program
+	pkg        *Package
+	li         *LockInfo
+	fd         *ast.FuncDecl
+	comms      map[ast.Node]bool
+	allowBlock bool
+	order      *Graph
+	declared   map[[2]string]token.Pos
+	report     func(rule string, pos token.Pos, format string, args ...any)
+}
+
+func copyHeld(h []heldLock) []heldLock { return append([]heldLock(nil), h...) }
+
+func heldIndex(h []heldLock, v *types.Var) int {
+	for i := range h {
+		if h[i].v == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func heldNames(li *LockInfo, h []heldLock) string {
+	names := make([]string, len(h))
+	for i := range h {
+		names[i] = li.LockName(h[i].v)
+	}
+	return strings.Join(names, ", ")
+}
+
+func (w *lockWalker) walkBlock(list []ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	for _, s := range list {
+		var term bool
+		held, term = w.walkStmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if isPanicCall(w.pkg.Info, s.X) {
+			return held, true
+		}
+		return w.scan(s.X, held), false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = w.scan(e, held)
+		}
+		for _, e := range s.Lhs {
+			held = w.scan(e, held)
+		}
+		return held, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						held = w.scan(e, held)
+					}
+				}
+			}
+		}
+		return held, false
+	case *ast.IncDecStmt:
+		return w.scan(s.X, held), false
+	case *ast.SendStmt:
+		if !w.comms[s] {
+			w.checkBlocking(s.Pos(), "channel send", held)
+		}
+		held = w.scan(s.Chan, held)
+		return w.scan(s.Value, held), false
+	case *ast.DeferStmt:
+		return w.handleDefer(s, held), false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = w.scan(e, held)
+		}
+		for _, h := range held {
+			if !h.deferred {
+				w.report("unlock-path", s.Pos(), "%s: returns still holding %s (locked at %s)",
+					w.fd.Name.Name, w.li.LockName(h.v), w.prog.Fset.Position(h.pos))
+			}
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true // break/continue/goto leave the sequential path
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		held = w.scan(s.Cond, held)
+		bodyHeld, bodyTerm := w.walkBlock(s.Body.List, copyHeld(held))
+		elseHeld, elseTerm := copyHeld(held), false
+		if s.Else != nil {
+			elseHeld, elseTerm = w.walkStmt(s.Else, copyHeld(held))
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return held, s.Else != nil // if/else both return: flow ends; a bare if keeps the fall-through
+		case bodyTerm:
+			return elseHeld, false
+		case elseTerm:
+			return bodyHeld, false
+		default:
+			return intersectHeld(bodyHeld, elseHeld), false
+		}
+	case *ast.BlockStmt:
+		return w.walkBlock(s.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		held = w.scan(s.Cond, held)
+		w.walkBlock(s.Body.List, copyHeld(held))
+		// An infinite loop with no way out never falls through.
+		return held, s.Cond == nil && !containsLoopExit(s.Body)
+	case *ast.RangeStmt:
+		if s.X != nil {
+			if t := w.pkg.Info.Types[s.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					w.checkBlocking(s.Pos(), "range over channel", held)
+				}
+			}
+			held = w.scan(s.X, held)
+		}
+		w.walkBlock(s.Body.List, copyHeld(held))
+		return held, false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		held = w.scan(s.Tag, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				h := copyHeld(held)
+				for _, e := range cc.List {
+					h = w.scan(e, h)
+				}
+				w.walkBlock(cc.Body, h)
+			}
+		}
+		return held, false
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkBlock(cc.Body, copyHeld(held))
+			}
+		}
+		return held, false
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			w.checkBlocking(s.Pos(), "select without default", held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				h := copyHeld(held)
+				if cc.Comm != nil {
+					h, _ = w.walkStmt(cc.Comm, h)
+				}
+				w.walkBlock(cc.Body, h)
+			}
+		}
+		return held, false
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			held = w.scan(a, held)
+		}
+		return held, false // the spawned body runs on its own stack with no locks held
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	}
+	return held, false
+}
+
+// scan walks an expression for calls and channel receives, updating
+// the held set through any lock/unlock calls it contains. Function
+// literals are examined on a copy of the held set (they may run inline
+// via Do or defer) with their effects discarded.
+func (w *lockWalker) scan(e ast.Expr, held []heldLock) []heldLock {
+	if e == nil {
+		return held
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkBlock(n.Body.List, copyHeld(held))
+			return false
+		case *ast.CallExpr:
+			held = w.handleCall(n, held)
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !w.comms[n] {
+				w.checkBlocking(n.Pos(), "channel receive", held)
+			}
+		}
+		return true
+	})
+	return held
+}
+
+// handleCall applies one call's effect on the held set and checks the
+// call-sensitive rules.
+func (w *lockWalker) handleCall(call *ast.CallExpr, held []heldLock) []heldLock {
+	info := w.pkg.Info
+	op, target := w.li.classifyCall(info, call)
+	switch op {
+	case "lock":
+		if target == nil {
+			return held
+		}
+		if heldIndex(held, target) >= 0 {
+			w.report("relock", call.Pos(), "%s: acquires %s while already holding it; Go mutexes are not reentrant, this self-deadlocks",
+				w.fd.Name.Name, w.li.LockName(target))
+			return held
+		}
+		for _, h := range held {
+			w.recordEdge(h.v, target, call.Pos(), "")
+		}
+		return append(held, heldLock{v: target, pos: call.Pos()})
+	case "unlock":
+		if i := heldIndex(held, target); i >= 0 {
+			return append(held[:i:i], held[i+1:]...)
+		}
+		return held
+	case "wait":
+		own := w.li.CondLock[target]
+		for _, h := range held {
+			if h.v != own && !w.allowBlock {
+				w.report("wait-holding", call.Pos(), "%s: Cond.Wait parks while holding %s, which is not the cond's own lock; waiters on %s stall for the full park",
+					w.fd.Name.Name, w.li.LockName(h.v), w.li.LockName(h.v))
+			}
+		}
+		return held
+	case "wake":
+		own := w.li.CondLock[target]
+		for _, h := range held {
+			if h.v != own && !w.allowBlock {
+				w.report("wake-holding", call.Pos(), "%s: Cond.Broadcast/Signal while holding %s (a second lock); move the wake outside the foreign critical section",
+					w.fd.Name.Name, w.li.LockName(h.v))
+			}
+		}
+		return held
+	case "netio":
+		if len(held) >= 1 && !w.allowBlock {
+			w.report("netio-holding", call.Pos(), "%s: net I/O while holding %s; socket stalls become lock stalls",
+				w.fd.Name.Name, heldNames(w.li, held))
+		}
+		return held
+	}
+	// An ordinary call: fold in the callee's transitive lock summary.
+	callee := calleeOf(info, call)
+	sum := w.li.Summary(callee)
+	if sum == nil {
+		return held
+	}
+	for v, acq := range sum.Acquires {
+		via := funcName(callee)
+		if acq.Via != "" {
+			via += " -> " + acq.Via
+		}
+		if heldIndex(held, v) >= 0 {
+			w.report("relock", call.Pos(), "%s: calls %s, which acquires %s already held here; Go mutexes are not reentrant, this self-deadlocks",
+				w.fd.Name.Name, via, w.li.LockName(v))
+			continue
+		}
+		for _, h := range held {
+			w.recordEdge(h.v, v, call.Pos(), via)
+		}
+	}
+	if sum.Blocks != nil && len(held) >= 2 && !w.allowBlock {
+		w.report("block-holding", call.Pos(), "%s: calls %s, which may block (%s), while holding %d locks (%s)",
+			w.fd.Name.Name, funcName(callee), sum.Blocks.Kind, len(held), heldNames(w.li, held))
+	}
+	return held
+}
+
+// recordEdge adds from -> to to the acquisition graph and checks it
+// against the declared order.
+func (w *lockWalker) recordEdge(from, to *types.Var, pos token.Pos, via string) {
+	fn, tn := w.li.LockName(from), w.li.LockName(to)
+	why := fmt.Sprintf("%s acquires %s while holding %s", w.fd.Name.Name, tn, fn)
+	if via != "" {
+		why += " via " + via
+	}
+	w.order.AddEdge(GraphEdge{From: fn, To: tn, Pos: pos, Why: why})
+	if declPos, ok := w.declared[[2]string{tn, fn}]; ok {
+		w.report("order", pos, "%s: acquires %s while holding %s, contradicting //stripe:locks %s<%s (declared at %s)",
+			w.fd.Name.Name, tn, fn, tn, fn, w.prog.Fset.Position(declPos))
+	}
+}
+
+// checkBlocking flags a direct blocking operation performed while more
+// than one lock is held.
+func (w *lockWalker) checkBlocking(pos token.Pos, what string, held []heldLock) {
+	if len(held) < 2 || w.allowBlock {
+		return
+	}
+	w.report("block-holding", pos, "%s: %s while holding %d locks (%s); every path needing them stalls behind the op",
+		w.fd.Name.Name, what, len(held), heldNames(w.li, held))
+}
+
+// handleDefer processes defer statements: deferred unlocks (directly
+// or inside a deferred closure) satisfy the unlock-on-all-paths rule.
+func (w *lockWalker) handleDefer(s *ast.DeferStmt, held []heldLock) []heldLock {
+	markDeferred := func(v *types.Var) {
+		if i := heldIndex(held, v); i >= 0 {
+			held[i].deferred = true
+		}
+	}
+	if op, target := w.li.classifyCall(w.pkg.Info, s.Call); op == "unlock" && target != nil {
+		markDeferred(target)
+		return held
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, target := w.li.classifyCall(w.pkg.Info, call); op == "unlock" && target != nil {
+					markDeferred(target)
+				}
+			}
+			return true
+		})
+		w.walkBlock(lit.Body.List, copyHeld(held))
+		return held
+	}
+	for _, a := range s.Call.Args {
+		held = w.scan(a, held)
+	}
+	return held
+}
+
+// intersectHeld keeps locks held on both arms of a branch; a deferred
+// release on either arm marks the merged entry deferred.
+func intersectHeld(a, b []heldLock) []heldLock {
+	var out []heldLock
+	for _, h := range a {
+		if j := heldIndex(b, h.v); j >= 0 {
+			m := h
+			m.deferred = h.deferred || b[j].deferred
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// containsLoopExit reports whether a loop body can break out of the
+// loop (a break not swallowed by a nested loop, switch, or select).
+func containsLoopExit(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return false // a plain break inside binds to these, not our loop
+		case *ast.BranchStmt:
+			// Returns don't count: they leave the function, not fall
+			// through to the statements after the loop.
+			if n.(*ast.BranchStmt).Tok == token.BREAK || n.(*ast.BranchStmt).Tok == token.GOTO {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isPanicCall reports whether the expression is a panic(...) call.
+func isPanicCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && isBuiltin(info, call, "panic")
+}

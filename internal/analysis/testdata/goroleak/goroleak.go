@@ -1,0 +1,95 @@
+// The goroleak corpus: goroutines on each tracked shutdown path stay
+// silent; unanchored ones, and annotation misuse, are findings.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// spawnDone is the captured-done-channel idiom: the goroutine parks on
+// a channel the returned stop closure closes.
+func spawnDone() func() {
+	done := make(chan struct{})
+	go func() {
+		<-done
+		work()
+	}()
+	return func() { close(done) }
+}
+
+// spawnWG is the WaitGroup idiom: the spawner waits on Done.
+func spawnWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// spawnCtx is the context idiom.
+func spawnCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+// spawnCompletion is the completion-signal idiom: the goroutine
+// announces its own exit by closing a channel the spawner drains.
+func spawnCompletion() {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		work()
+	}()
+	<-ch
+}
+
+// drainForever is reachable only through a go statement; its summary
+// still exists, and it offers no way to stop it.
+func drainForever(ch chan int) {
+	for range ch {
+	}
+}
+
+func spawnUntrackedLit() {
+	go func() { // want "spawnUntrackedLit: goroutine has no tracked shutdown path"
+		for {
+			work()
+		}
+	}()
+}
+
+func spawnUntrackedCallee(ch chan int) {
+	go drainForever(ch) // want "spawnUntrackedCallee: goroutine has no tracked shutdown path"
+}
+
+func spawnDynamic(f func()) {
+	go f() // want "spawnDynamic: goroutine target is dynamic \\(func value\\)"
+}
+
+func spawnWaivedLine(ch chan int) {
+	//stripe:allowleak bounded: drains a channel the test closes immediately
+	go drainForever(ch)
+}
+
+func spawnWaivedSameLine(ch chan int) {
+	go drainForever(ch) //stripe:allowleak bounded: drains a channel the test closes immediately
+}
+
+//stripe:allowleak bounded: the demo sender exits after a fixed packet count
+func spawnWaivedDoc() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func spawnWaivedBare(ch chan int) {
+	//stripe:allowleak
+	go drainForever(ch) // want "spawnWaivedBare: //stripe:allowleak needs a reason"
+}

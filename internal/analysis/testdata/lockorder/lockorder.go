@@ -1,0 +1,193 @@
+// The lockorder corpus: one function per rule, each seeded with the
+// smallest violation that triggers it, plus clean twins proving the
+// rules stay quiet on disciplined code.
+package lockorder
+
+import (
+	"net"
+	"sync"
+)
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// lockAB and lockBA acquire the same pair in opposite orders: the
+// classic deadlock. The cycle is reported at the first witnessed edge
+// (A.mu -> B.mu, below).
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle: A\\.mu -> B\\.mu -> A\\.mu"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+//stripe:locks C.mu<D.mu
+
+// violateDecl contradicts the declared order without (yet) having a
+// partner that closes the cycle — the declaration catches it early.
+func violateDecl(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock() // want "violateDecl: acquires C\\.mu while holding D\\.mu, contradicting //stripe:locks C\\.mu<D\\.mu"
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+//stripe:locks C.mu
+// want-1 "//stripe:locks needs at least two '<'-separated lock names"
+
+//stripe:locks C.mu<Ghost.mu
+// want-1 "//stripe:locks names unknown lock \"Ghost.mu\""
+
+type R struct {
+	mu sync.Mutex
+	n  int
+}
+
+func relockDirect(r *R) {
+	r.mu.Lock()
+	r.mu.Lock() // want "relockDirect: acquires R\\.mu while already holding it"
+	r.mu.Unlock()
+}
+
+// withR is summary fodder: it acquires R.mu (and releases it on every
+// path via defer), so callers holding R.mu self-deadlock calling it.
+func withR(r *R) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+}
+
+func relockViaCall(r *R) {
+	r.mu.Lock()
+	withR(r) // want "relockViaCall: calls withR, which acquires R\\.mu already held here"
+	r.mu.Unlock()
+}
+
+type F struct{ mu sync.Mutex }
+
+// W is a waiter in the Session.txCond mold: cond guards mu.
+type W struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready bool
+}
+
+func newW() *W {
+	w := &W{}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// waitClean parks holding only the cond's own lock: fine.
+func waitClean(w *W) {
+	w.mu.Lock()
+	for !w.ready {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// waitHoldingForeign parks while a second, foreign lock is held: every
+// waiter on F.mu stalls for the full park.
+func waitHoldingForeign(w *W, f *F) {
+	f.mu.Lock()
+	w.mu.Lock()
+	for !w.ready {
+		w.cond.Wait() // want "waitHoldingForeign: Cond\\.Wait parks while holding F\\.mu"
+	}
+	w.mu.Unlock()
+	f.mu.Unlock()
+}
+
+func wakeHoldingForeign(w *W, f *F) {
+	f.mu.Lock()
+	w.cond.Broadcast() // want "wakeHoldingForeign: Cond\\.Broadcast/Signal while holding F\\.mu \\(a second lock\\)"
+	f.mu.Unlock()
+}
+
+type P struct{ mu sync.Mutex }
+type Q struct{ mu sync.Mutex }
+
+func sendHoldingTwo(p *P, q *Q, ch chan int) {
+	p.mu.Lock()
+	q.mu.Lock()
+	ch <- 1 // want "sendHoldingTwo: channel send while holding 2 locks \\(P\\.mu, Q\\.mu\\)"
+	q.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// recvCh blocks on its own (no locks held here, so it is clean) but
+// poisons the summary of everything that calls it under locks.
+func recvCh(ch chan int) int {
+	return <-ch
+}
+
+func blockViaCall(p *P, q *Q, ch chan int) int {
+	p.mu.Lock()
+	q.mu.Lock()
+	v := recvCh(ch) // want "blockViaCall: calls recvCh, which may block \\(channel receive\\), while holding 2 locks"
+	q.mu.Unlock()
+	p.mu.Unlock()
+	return v
+}
+
+//stripe:allowblock handoff runs under both striper locks by design
+func sendAllowed(p *P, q *Q, ch chan int) {
+	p.mu.Lock()
+	q.mu.Lock()
+	ch <- 1
+	q.mu.Unlock()
+	p.mu.Unlock()
+}
+
+//stripe:allowblock
+func sendAllowedBare(p *P, q *Q, ch chan int) { // want "sendAllowedBare: //stripe:allowblock needs a reason"
+	p.mu.Lock()
+	q.mu.Lock()
+	ch <- 1
+	q.mu.Unlock()
+	p.mu.Unlock()
+}
+
+type N struct{ mu sync.Mutex }
+
+func writeHoldingLock(n *N, c net.Conn, b []byte) {
+	n.mu.Lock()
+	c.Write(b) // want "writeHoldingLock: net I/O while holding N\\.mu; socket stalls become lock stalls"
+	n.mu.Unlock()
+}
+
+func returnHolding(r *R, early bool) int {
+	r.mu.Lock()
+	if early {
+		return 1 // want "returnHolding: returns still holding R\\.mu"
+	}
+	r.mu.Unlock()
+	return 0
+}
+
+func leakAtEnd(r *R) {
+	r.mu.Lock() // want "leakAtEnd: R\\.mu locked here is not unlocked on every path"
+	r.n++
+}
+
+// deferClean releases via defer on every path: clean.
+func deferClean(r *R, early bool) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if early {
+		return 1
+	}
+	r.n++
+	return 0
+}

@@ -1,0 +1,74 @@
+// The wiresym corpus: a miniature wire surface with its own codepoint
+// universe and codec pairs, seeded with one violation of each rule.
+// This file declares the universe; references here (the iota block)
+// never count as consumer handling.
+package wiresym
+
+import "encoding/binary"
+
+// Kind is the corpus codepoint namespace (discovered structurally:
+// unsigned underlying type plus a Packet struct carrying it).
+type Kind uint8
+
+const (
+	Data   Kind = iota // 0
+	Marker             // 1
+	Credit             // 2
+	// Orphan (3) is declared but handled nowhere: kind-unhandled.
+	Orphan // want "codepoint Orphan is declared but no consumer handles it"
+	Parity // 4: the newest, highest codepoint
+)
+
+// Packet is the frame the universe discovery keys on.
+type Packet struct {
+	Kind    Kind
+	Payload []byte
+}
+
+// ctrlCRC stands in for the real Castagnoli checksum; the pass matches
+// it by name.
+func ctrlCRC(b []byte) uint32 {
+	var x uint32
+	for _, c := range b {
+		x = x*31 + uint32(c)
+	}
+	return x
+}
+
+// --- A healthy codec pair: shared size constant, matching CRC spans ---
+
+const GoodWireLen = 16
+
+type GoodBlock struct {
+	A uint64
+	B uint32
+}
+
+func (g *GoodBlock) Encode(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, GoodWireLen)...)
+	b := dst[off:]
+	binary.BigEndian.PutUint64(b[0:8], g.A)
+	binary.BigEndian.PutUint32(b[8:12], g.B)
+	binary.BigEndian.PutUint32(b[12:16], ctrlCRC(b[0:12]))
+	return dst
+}
+
+func DecodeGood(b []byte) (GoodBlock, error) {
+	var g GoodBlock
+	if len(b) < GoodWireLen {
+		return g, errShort
+	}
+	if ctrlCRC(b[0:12]) != binary.BigEndian.Uint32(b[12:16]) {
+		return g, errShort
+	}
+	g.A = binary.BigEndian.Uint64(b[0:8])
+	g.B = binary.BigEndian.Uint32(b[8:12])
+	return g, nil
+}
+
+type corpusError string
+
+func (e corpusError) Error() string { return string(e) }
+
+const errShort = corpusError("short block")

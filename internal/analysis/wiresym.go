@@ -1,0 +1,478 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireSym cross-checks the packet wire surface against its consumers —
+// the invariants whose violation desyncs a FIFO channel silently
+// instead of failing a build:
+//
+//   - kind-bound: any ordered comparison against a control codepoint
+//     constant is a decode bound, and a decode bound must sit at the
+//     highest declared codepoint. Adding a codepoint without raising
+//     every bound is exactly the DecodeFrame regression that killed
+//     read pumps on Telemetry frames.
+//   - kind-unhandled: once the analyzed packages contain a decode
+//     bound, every declared codepoint must be referenced by consumer
+//     code outside its declaring file — handled in a dispatch switch
+//     or at least mentioned by the bound that counts it as unknown.
+//   - pair-consts: an Encode method and its Decode counterpart
+//     (XBlock.Encode / DecodeX) must reference the same package-level
+//     size constants and *WireLen helpers; a constant used on one side
+//     only means the two halves of the codec disagree about layout.
+//   - crc-span: CRC-guarded blocks must compute the checksum over the
+//     same field span, and store/read it at the same offset, on both
+//     sides of the pair.
+//
+// The codepoint universe is discovered structurally: a package-level
+// type named Kind with an unsigned underlying type, in a package that
+// also declares a struct Packet carrying a Kind-typed field (this
+// excludes unrelated Kind types, like the obs event kind).
+const wireSymName = "wiresym"
+
+var WireSym = &Pass{
+	Name: wireSymName,
+	Doc:  "wire codepoints bounded at the max and dispatched; encode/decode pairs agree on size constants and CRC spans",
+	InScope: func(pkgPath string) bool {
+		for _, s := range []string{"/internal/packet", "/internal/netchan", "/internal/core"} {
+			if strings.HasSuffix(pkgPath, s) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runWireSym,
+}
+
+// kindUniverse is one discovered codepoint namespace.
+type kindUniverse struct {
+	pkg    *Package
+	typ    types.Type     // the Kind named type
+	consts []*types.Const // declared codepoints
+	max    *types.Const   // highest-valued codepoint
+	maxVal int64
+	// declFile maps each codepoint to the file declaring it; references
+	// within that file (the iota block, the String method) do not count
+	// as consumer handling.
+	declFile map[*types.Const]string
+	// bounded records whether any analyzed package holds an ordered
+	// comparison over this universe — i.e. a decode bound exists, so
+	// the dispatch-completeness rule has a frame reader to hold it to.
+	bounded bool
+}
+
+func runWireSym(prog *Program, pkgs []*Package) []Diagnostic {
+	var ds []Diagnostic
+	report := func(rule string, pos token.Pos, format string, args ...any) {
+		ds = append(ds, Diagnostic{
+			Pos:  prog.Fset.Position(pos),
+			Pass: wireSymName,
+			Rule: rule,
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	universes := findKindUniverses(prog, pkgs)
+	if len(universes) > 0 {
+		checkKindBounds(prog, pkgs, universes, report)
+		checkKindHandled(prog, pkgs, universes, report)
+	}
+	for _, pkg := range pkgs {
+		for _, pair := range codecPairs(pkg) {
+			checkPairConsts(pkg, pair, universes, report)
+			checkCRCSpans(pkg, pair, report)
+		}
+	}
+	return ds
+}
+
+// findKindUniverses discovers codepoint namespaces in the analyzed
+// packages: a Kind type (unsigned underlying) whose package also
+// declares a struct Packet with a Kind-typed field.
+func findKindUniverses(prog *Program, pkgs []*Package) []*kindUniverse {
+	var out []*kindUniverse
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		kindObj, ok := scope.Lookup("Kind").(*types.TypeName)
+		if !ok {
+			continue
+		}
+		basic, ok := kindObj.Type().Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsUnsigned == 0 {
+			continue
+		}
+		pktObj, ok := scope.Lookup("Packet").(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := pktObj.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		carries := false
+		for i := 0; i < st.NumFields(); i++ {
+			if types.Identical(st.Field(i).Type(), kindObj.Type()) {
+				carries = true
+				break
+			}
+		}
+		if !carries {
+			continue
+		}
+		u := &kindUniverse{pkg: pkg, typ: kindObj.Type(), declFile: make(map[*types.Const]string)}
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !types.Identical(c.Type(), u.typ) {
+				continue
+			}
+			v, ok := constant.Int64Val(c.Val())
+			if !ok {
+				continue
+			}
+			u.consts = append(u.consts, c)
+			u.declFile[c] = prog.Fset.Position(c.Pos()).Filename
+			if u.max == nil || v > u.maxVal {
+				u.max, u.maxVal = c, v
+			}
+		}
+		if len(u.consts) > 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// kindConstOf resolves an expression to a codepoint constant of one of
+// the universes, looking through conversions like byte(packet.Telemetry).
+func kindConstOf(info *types.Info, universes []*kindUniverse, e ast.Expr) (*kindUniverse, *types.Const) {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 && isConversion(info, call) {
+		e = ast.Unparen(call.Args[0])
+	}
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil, nil
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok {
+		return nil, nil
+	}
+	for _, u := range universes {
+		if types.Identical(c.Type(), u.typ) {
+			return u, c
+		}
+	}
+	return nil, nil
+}
+
+// checkKindBounds flags ordered comparisons against a codepoint
+// constant that is not the highest declared one — stale decode bounds.
+func checkKindBounds(prog *Program, pkgs []*Package, universes []*kindUniverse, report func(string, token.Pos, string, ...any)) {
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				switch be.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				default:
+					return true
+				}
+				for _, side := range []ast.Expr{be.X, be.Y} {
+					u, c := kindConstOf(pkg.Info, universes, side)
+					if u == nil {
+						continue
+					}
+					u.bounded = true
+					if c != u.max {
+						report("kind-bound", be.Pos(),
+							"decode bound compares against %s (%s) but the highest declared codepoint is %s (%d); a frame carrying a newer codepoint would be rejected and desync the channel",
+							c.Name(), c.Val(), u.max.Name(), u.maxVal)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkKindHandled flags codepoints no consumer references. It runs
+// only for universes with a decode bound in the analyzed set, so a
+// packages-only run (no frame reader in scope) stays quiet.
+func checkKindHandled(prog *Program, pkgs []*Package, universes []*kindUniverse, report func(string, token.Pos, string, ...any)) {
+	for _, u := range universes {
+		if !u.bounded {
+			continue
+		}
+		handled := make(map[*types.Const]bool)
+		for _, pkg := range pkgs {
+			for id, obj := range pkg.Info.Uses {
+				c, ok := obj.(*types.Const)
+				if !ok {
+					continue
+				}
+				if _, declared := u.declFile[c]; !declared {
+					continue
+				}
+				if prog.Fset.Position(id.Pos()).Filename == u.declFile[c] {
+					continue // the iota block and String method don't handle anything
+				}
+				handled[c] = true
+			}
+		}
+		for _, c := range u.consts {
+			if !handled[c] {
+				report("kind-unhandled", c.Pos(),
+					"codepoint %s is declared but no consumer handles it or counts it as unknown (reference it in a dispatch switch or raise the decode bound handling)",
+					c.Name())
+			}
+		}
+	}
+}
+
+// codecPair is an Encode method and its Decode counterpart.
+type codecPair struct {
+	name   string // "Marker" for MarkerBlock.Encode / DecodeMarker
+	encode *ast.FuncDecl
+	decode *ast.FuncDecl
+}
+
+// codecPairs matches XBlock.Encode methods with DecodeX functions.
+func codecPairs(pkg *Package) []*codecPair {
+	encodes := make(map[string]*ast.FuncDecl) // base name -> Encode decl
+	decodes := make(map[string]*ast.FuncDecl)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil && fd.Name.Name == "Encode" {
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if recv := receiverNamed(fn); recv != nil {
+					encodes[strings.TrimSuffix(recv.Obj().Name(), "Block")] = fd
+				}
+			}
+			if fd.Recv == nil {
+				if base, ok := strings.CutPrefix(fd.Name.Name, "Decode"); ok && base != "" {
+					decodes[base] = fd
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(encodes))
+	for name := range encodes {
+		if decodes[name] != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []*codecPair
+	for _, name := range names {
+		out = append(out, &codecPair{name: name, encode: encodes[name], decode: decodes[name]})
+	}
+	return out
+}
+
+// sizeSymbols collects the package-level size vocabulary a codec body
+// references: integer constants (excluding codepoints — they name
+// kinds, not layout) and *WireLen helper functions.
+func sizeSymbols(pkg *Package, body *ast.BlockStmt, universes []*kindUniverse) map[string]token.Pos {
+	syms := make(map[string]token.Pos)
+	scope := pkg.Types.Scope()
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch obj := pkg.Info.Uses[id].(type) {
+		case *types.Const:
+			if obj.Pkg() != pkg.Types || scope.Lookup(obj.Name()) != obj {
+				return true
+			}
+			if obj.Val().Kind() != constant.Int {
+				return true // magics are strings; only layout numbers count
+			}
+			for _, u := range universes {
+				if types.Identical(obj.Type(), u.typ) {
+					return true
+				}
+			}
+			syms[obj.Name()] = id.Pos()
+		case *types.Func:
+			if obj.Pkg() == pkg.Types && scope.Lookup(obj.Name()) == obj && strings.HasSuffix(obj.Name(), "WireLen") {
+				syms[obj.Name()] = id.Pos()
+			}
+		}
+		return true
+	})
+	return syms
+}
+
+// checkPairConsts flags size-vocabulary asymmetry between the two
+// halves of a codec pair.
+func checkPairConsts(pkg *Package, pair *codecPair, universes []*kindUniverse, report func(string, token.Pos, string, ...any)) {
+	enc := sizeSymbols(pkg, pair.encode.Body, universes)
+	dec := sizeSymbols(pkg, pair.decode.Body, universes)
+	for _, sym := range sortedKeys(enc) {
+		if _, ok := dec[sym]; !ok {
+			report("pair-consts", pair.decode.Pos(),
+				"Decode%s does not reference %s but (%s).Encode does; the codec halves disagree about layout",
+				pair.name, sym, encodeRecvName(pair.encode))
+		}
+	}
+	for _, sym := range sortedKeys(dec) {
+		if _, ok := enc[sym]; !ok {
+			report("pair-consts", pair.encode.Pos(),
+				"(%s).Encode does not reference %s but Decode%s does; the codec halves disagree about layout",
+				encodeRecvName(pair.encode), sym, pair.name)
+		}
+	}
+}
+
+func encodeRecvName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := fd.Recv.List[0].Type
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return "*" + id.Name
+		}
+	}
+	return "?"
+}
+
+func sortedKeys(m map[string]token.Pos) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// crcUse is one checksum computation: the span the CRC covers and the
+// slot it is stored to / read from (normalized source text).
+type crcUse struct {
+	span, slot string
+	pos        token.Pos
+}
+
+// crcUses finds ctrlCRC calls in a body. On the encode side the slot is
+// the destination of the enclosing PutUint32; on the decode side it is
+// the Uint32 operand the checksum is compared against.
+func crcUses(body *ast.BlockStmt) []crcUse {
+	var out []crcUse
+	crcCallOf := func(e ast.Expr) *ast.CallExpr {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "ctrlCRC" {
+				return call
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "ctrlCRC" {
+				return call
+			}
+		}
+		return nil
+	}
+	callNamed := func(e ast.Expr, name string) *ast.CallExpr {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == name {
+			return call
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == name {
+			return call
+		}
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Encode idiom: binary.BigEndian.PutUint32(slot, ctrlCRC(span)).
+			if put := callNamed(n, "PutUint32"); put != nil && len(put.Args) == 2 {
+				if crc := crcCallOf(put.Args[1]); crc != nil && len(crc.Args) == 1 {
+					out = append(out, crcUse{
+						span: types.ExprString(crc.Args[0]),
+						slot: types.ExprString(put.Args[0]),
+						pos:  crc.Pos(),
+					})
+				}
+			}
+		case *ast.BinaryExpr:
+			// Decode idiom: ctrlCRC(span) != binary.BigEndian.Uint32(slot).
+			if n.Op != token.NEQ && n.Op != token.EQL {
+				return true
+			}
+			for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+				crc := crcCallOf(pair[0])
+				get := callNamed(pair[1], "Uint32")
+				if crc != nil && len(crc.Args) == 1 && get != nil && len(get.Args) == 1 {
+					out = append(out, crcUse{
+						span: types.ExprString(crc.Args[0]),
+						slot: types.ExprString(get.Args[0]),
+						pos:  crc.Pos(),
+					})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkCRCSpans flags CRC span/slot disagreement inside a codec pair.
+func checkCRCSpans(pkg *Package, pair *codecPair, report func(string, token.Pos, string, ...any)) {
+	enc := crcUses(pair.encode.Body)
+	dec := crcUses(pair.decode.Body)
+	if len(enc) == 0 || len(dec) == 0 {
+		if len(enc) != len(dec) {
+			side, pos := "Decode"+pair.name, pair.decode.Pos()
+			if len(dec) > 0 {
+				side, pos = "("+encodeRecvName(pair.encode)+").Encode", pair.encode.Pos()
+			}
+			report("crc-span", pos,
+				"%s has no CRC guard but its counterpart checksums the block; a corrupt frame passes on one side only",
+				side)
+		}
+		return
+	}
+	key := func(us []crcUse) string {
+		parts := make([]string, len(us))
+		for i, u := range us {
+			parts[i] = u.span + "@" + u.slot
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ", ")
+	}
+	if ek, dk := key(enc), key(dec); ek != dk {
+		report("crc-span", dec[0].pos,
+			"CRC guard mismatch: encode checksums %s, decode checks %s; the two sides cover different field spans",
+			ek, dk)
+	}
+}

@@ -19,6 +19,11 @@ func FuzzDecodeFrame(f *testing.F) {
 	p.Seq, p.HasSeq = 7, true
 	f.Add(EncodeFrame(nil, p))
 	f.Add(EncodeFrame(nil, packet.NewMarker(packet.MarkerBlock{Channel: 1, Round: 2, Deficit: -3})))
+	// Regression seeds at the codepoint bound: the highest declared
+	// kind must decode, one past it must be rejected. The stale-bound
+	// bug (bound left at Marker when Credit landed) lived exactly here.
+	f.Add([]byte{byte(packet.Telemetry), 0})
+	f.Add([]byte{byte(packet.Telemetry) + 1, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		q, err := DecodeFrame(data)

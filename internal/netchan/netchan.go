@@ -226,6 +226,7 @@ func TCPPair() (*TCPChannel, *TCPChannel, error) {
 		err error
 	}
 	ch := make(chan accepted, 1)
+	//stripe:allowleak bounded: Accept returns once the deferred ln.Close runs on every exit path, and the buffered send then completes
 	go func() {
 		c, err := ln.Accept()
 		ch <- accepted{c, err}

@@ -211,6 +211,26 @@ func TestDecodeFrameStrictness(t *testing.T) {
 	}
 }
 
+// TestDecodeFrameBound pins the decode bound to the highest declared
+// codepoint: a frame carrying the max kind decodes, one past it is
+// ErrBadCodepoint. The wiresym pass enforces this statically; this test
+// catches the same drift at run time (the bound was once left at the
+// previous max when Telemetry landed, killing read pumps on valid
+// frames).
+func TestDecodeFrameBound(t *testing.T) {
+	p, err := DecodeFrame([]byte{byte(packet.Telemetry), 0})
+	if err != nil {
+		t.Fatalf("frame at the codepoint bound rejected: %v", err)
+	}
+	if p.Kind != packet.Telemetry {
+		t.Fatalf("decoded Kind = %v, want Telemetry", p.Kind)
+	}
+	p.Release()
+	if _, err := DecodeFrame([]byte{byte(packet.Telemetry) + 1, 0}); err != ErrBadCodepoint {
+		t.Fatalf("frame one past the bound: err = %v, want ErrBadCodepoint", err)
+	}
+}
+
 func TestUDPSendAfterCloseFails(t *testing.T) {
 	send, recv, err := UDPPair()
 	if err != nil {

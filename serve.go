@@ -27,6 +27,10 @@ type Server struct {
 	traceMu   sync.Mutex
 	traceSeen map[*Tracer]bool
 	traceBuf  []PacketTrace
+
+	// done is closed by the serve goroutine when the accept loop exits,
+	// so Close can wait for it instead of abandoning the goroutine.
+	done chan struct{}
 }
 
 // Serve starts an HTTP endpoint exposing the given collectors:
@@ -61,7 +65,7 @@ func Serve(addr string, cols ...*Collector) (*Server, error) {
 		c.PublishExpvar()
 	}
 
-	s := &Server{traceSeen: map[*Tracer]bool{}}
+	s := &Server{traceSeen: map[*Tracer]bool{}, done: make(chan struct{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -94,7 +98,10 @@ func Serve(addr string, cols ...*Collector) (*Server, error) {
 	}
 	s.ln = ln
 	s.srv = &http.Server{Handler: mux}
-	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	}()
 	return s, nil
 }
 
@@ -130,5 +137,9 @@ func (s *Server) writeTrace(w http.ResponseWriter, live []*Collector) {
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the endpoint.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the endpoint and waits for the serve goroutine to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
